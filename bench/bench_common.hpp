@@ -1,0 +1,61 @@
+#pragma once
+// Shared helpers for the experiment harnesses (E1..E13 in DESIGN.md).
+//
+// Each bench binary regenerates one of the paper's quantitative claims and
+// prints a self-contained table: the claim, the measured series, and the
+// derived columns that make the comparison (normalized rounds, log-log
+// slopes). EXPERIMENTS.md records paper-vs-measured from these outputs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kmm.hpp"
+
+namespace kmmbench {
+
+using namespace kmm;
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+/// One standard connectivity run; returns the full result (stats included).
+inline BoruvkaResult run_connectivity(const Graph& g, MachineId k, std::uint64_t seed) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
+  BoruvkaConfig cfg;
+  cfg.seed = split(seed, 2);
+  return connected_components(cluster, dg, cfg);
+}
+
+inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
+  BoruvkaConfig cfg;
+  cfg.seed = split(seed, 2);
+  return minimum_spanning_forest(cluster, dg, cfg);
+}
+
+/// Weighted graph with distinct weights for MST experiments.
+inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'000) {
+  Rng rng(seed);
+  return with_unique_weights(with_random_weights(g, rng, limit));
+}
+
+/// log-log slope of rounds against k (the paper predicts ~ -2 for the
+/// sketch algorithms, ~ -1 for the n/k baselines).
+inline double slope_vs_k(const std::vector<double>& ks, const std::vector<double>& rounds) {
+  return loglog_slope(ks, rounds);
+}
+
+inline void print_slope(const char* label, const std::vector<double>& ks,
+                        const std::vector<double>& rounds) {
+  std::printf("  fitted log-log slope of %-28s : %+.2f\n", label,
+              slope_vs_k(ks, rounds));
+}
+
+}  // namespace kmmbench

@@ -1,0 +1,65 @@
+// E8 (Lemma 6 / Figure 2): DRR tree depth is O(log n) w.h.p.
+//
+// Builds DRR forests over random component graphs (each component selects
+// one random neighbor) across sizes and seeds; prints mean/max depth vs
+// the log(n+1) expectation and the 6*log2(n+1) w.h.p. bound, plus the
+// root fraction (~1/2, the Lemma 7 decay driver).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/drr.hpp"
+
+using namespace kmmbench;
+
+int main() {
+  banner("E8: DRR tree depth (Lemma 6)",
+         "depth <= 6 log(n+1) w.h.p.; E[depth] <= log(n+1); ~half the "
+         "components become roots");
+
+  constexpr int kTrials = 60;
+  std::printf("%8s %10s %10s %12s %14s %12s\n", "c", "mean", "max", "log2(c+1)",
+              "6*log2(c+1)", "root-frac");
+  std::vector<double> sizes, maxima;
+  for (const std::size_t c : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    Rng rng(split(91, c));
+    Accumulator depth, roots;
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<std::uint32_t> target(c);
+      for (std::uint32_t i = 0; i < c; ++i) {
+        auto t = static_cast<std::uint32_t>(rng.next_below(c));
+        target[i] = t == i ? (i + 1) % static_cast<std::uint32_t>(c) : t;
+      }
+      const auto f = DrrForest::build(target, split3(93, c, trial));
+      depth.add(f.max_depth);
+      roots.add(static_cast<double>(f.roots) / static_cast<double>(c));
+      worst = std::max(worst, static_cast<double>(f.max_depth));
+    }
+    const double lg = std::log2(static_cast<double>(c) + 1);
+    std::printf("%8zu %10.2f %10.0f %12.2f %14.2f %12.3f\n", c, depth.mean(), worst, lg,
+                6 * lg, roots.mean());
+    sizes.push_back(static_cast<double>(c));
+    maxima.push_back(worst);
+  }
+  // Depth should grow like log c: the log-log slope against c is well
+  // below any polynomial (prints ~0.1-0.2).
+  print_slope("max depth vs c (log growth => near 0)", sizes, maxima);
+
+  // Path-shaped component graphs (the worst case DRR was designed for).
+  std::printf("\npath-shaped selections (chains):\n");
+  for (const std::size_t c : {1024u, 16384u}) {
+    std::vector<std::uint32_t> target(c);
+    for (std::uint32_t i = 0; i < c; ++i) {
+      target[i] = std::min<std::uint32_t>(i + 1, static_cast<std::uint32_t>(c) - 1);
+    }
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      worst = std::max(worst,
+                       static_cast<double>(DrrForest::build(target, split3(95, c, trial))
+                                               .max_depth));
+    }
+    std::printf("  c=%6zu: max depth %4.0f vs naive chain depth %zu\n", c, worst, c - 1);
+  }
+  return 0;
+}

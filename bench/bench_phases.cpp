@@ -1,0 +1,70 @@
+// E9 (Lemma 7): the algorithm finishes within 12 log n phases w.h.p., with
+// the number of participating components decaying by a constant factor per
+// phase.
+//
+// Prints per-phase component counts across graph families and the
+// phases-used / 12 log2 n budget fraction.
+
+#include "bench_common.hpp"
+
+using namespace kmmbench;
+
+namespace {
+
+void trace_family(const char* name, const Graph& g, MachineId k, std::uint64_t seed) {
+  const auto res = run_connectivity(g, k, seed);
+  const auto budget = 12 * bits_for(g.num_vertices());
+  std::printf("\n%s (n=%zu, m=%zu, k=%u): %zu phases / budget %llu\n", name,
+              g.num_vertices(), g.num_edges(), k, res.phases.size(),
+              static_cast<unsigned long long>(budget));
+  std::printf("  %-6s %12s %12s %8s %10s\n", "phase", "comps-in", "comps-out", "decay",
+              "rounds");
+  for (const auto& ph : res.phases) {
+    std::printf("  %-6u %12llu %12llu %8.2f %10llu\n", ph.phase,
+                static_cast<unsigned long long>(ph.components_before),
+                static_cast<unsigned long long>(ph.components_after),
+                ph.components_before
+                    ? static_cast<double>(ph.components_after) /
+                          static_cast<double>(ph.components_before)
+                    : 0.0,
+                static_cast<unsigned long long>(ph.rounds));
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("E9: phase count (Lemma 7)",
+         "<= 12 log n phases w.h.p.; participating components decay by a "
+         "constant factor (<= 3/4 per successful phase)");
+
+  Rng rng(101);
+  trace_family("sparse gnm(4096, 1.2n)", gen::gnm(4096, 4915, rng), 16, 103);
+  trace_family("dense gnm(4096, 8n)", gen::gnm(4096, 8 * 4096, rng), 16, 105);
+  trace_family("path(4096)", gen::path(4096), 16, 107);
+  trace_family("grid(64x64)", gen::grid(64, 64), 16, 109);
+  trace_family("communities(4096, 16 blocks)",
+               gen::planted_communities(4096, 16, 0.02, 32, rng), 16, 111);
+
+  // Aggregate decay statistics over many random graphs.
+  std::printf("\naggregate over 20 random graphs (n=2048, m=3n):\n");
+  Accumulator phases_used, decay;
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng grng(split(113, trial));
+    const Graph g = gen::gnm(2048, 3 * 2048, grng);
+    const auto res = run_connectivity(g, 16, split(115, trial));
+    phases_used.add(static_cast<double>(res.phases.size()));
+    for (const auto& ph : res.phases) {
+      if (ph.components_before > ph.components_after && ph.components_before > 1) {
+        decay.add(static_cast<double>(ph.components_after) /
+                  static_cast<double>(ph.components_before));
+      }
+    }
+  }
+  std::printf("  phases used: mean %.1f, max %.0f (budget %llu)\n", phases_used.mean(),
+              phases_used.max(), static_cast<unsigned long long>(12 * bits_for(2048)));
+  std::printf("  per-phase decay factor: mean %.3f (Lemma 7 successful-phase "
+              "threshold: 0.75)\n",
+              decay.mean());
+  return 0;
+}

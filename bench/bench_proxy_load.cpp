@@ -1,0 +1,60 @@
+// E10 (Lemma 1): randomized proxy routing balances load — every superstep
+// delivers with per-link loads of O~(n/k^2) message-bits w.h.p.
+//
+// Runs connectivity and reports the distribution of per-superstep maximum
+// link loads from the cluster ledger, against the n/k^2 prediction, and
+// contrasts RVP with an adversarially skewed partition.
+
+#include "bench_common.hpp"
+
+using namespace kmmbench;
+
+namespace {
+
+void profile(const char* name, const Graph& g, const VertexPartition& part, MachineId k,
+             std::uint64_t seed) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, part);
+  BoruvkaConfig cfg;
+  cfg.seed = seed;
+  const auto res = connected_components(cluster, dg, cfg);
+  const auto& acc = cluster.stats().superstep_link_max;
+  const double n = static_cast<double>(g.num_vertices());
+  // A phase-1 sketch superstep moves ~n sketches of wire size s over k^2
+  // links: per-link ~ n*s/k^2 bits.
+  const GraphSketchBuilder probe(g.num_vertices(), 1);
+  const double sketch_bits = static_cast<double>(probe.empty_sketch().wire_bits());
+  const double predicted = n * sketch_bits / (static_cast<double>(k) * k);
+  std::printf("%-22s k=%2u  link-max bits: mean %10.0f  p100 %10.0f  "
+              "n*s/k^2 %10.0f  ratio %5.2f  rounds %8llu\n",
+              name, k, acc.mean(), acc.max(), predicted, acc.max() / predicted,
+              static_cast<unsigned long long>(res.stats.rounds));
+}
+
+}  // namespace
+
+int main() {
+  banner("E10: proxy load balancing (Lemma 1)",
+         "all proxy-bound messages delivered with per-link load O~(n/k^2) "
+         "whp — no machine hot-spots under RVP");
+
+  const std::size_t n = 4096;
+  Rng rng(121);
+  const Graph g = gen::gnm(n, 3 * n, rng);
+
+  for (const MachineId k : {MachineId{8}, MachineId{16}, MachineId{32}}) {
+    profile("rvp/random", g, VertexPartition::random(n, k, split(123, k)), k,
+            split(125, k));
+  }
+  std::printf("\nadversarial vertex placement (60%% of vertices on machine 0):\n");
+  for (const MachineId k : {MachineId{8}, MachineId{16}}) {
+    profile("skewed(0.6)", g, VertexPartition::skewed(n, k, 0.6), k, split(127, k));
+  }
+  std::printf(
+      "\nreading: under RVP the observed per-link maxima track n*s/k^2 within a\n"
+      "small constant; the skewed partition concentrates parts on machine 0's\n"
+      "links, inflating the ratio — exactly the congestion Lemma 1's proxy\n"
+      "randomization is designed to avoid (proxies stay random, but the\n"
+      "*senders* are now concentrated).\n");
+  return 0;
+}

@@ -1,0 +1,252 @@
+// kmachine_cli — run any algorithm of the library on any generator from the
+// command line and read the round/traffic ledger.
+//
+//   kmachine_cli --algo conn --graph gnm --n 4096 --m 12288 --k 16
+//   kmachine_cli --algo mst --graph grid --rows 64 --cols 64 --k 8
+//   kmachine_cli --algo mincut --graph dumbbell --n 256 --lambda 4 --k 8
+//   kmachine_cli --algo 2ec --graph cycle --n 1024 --k 8 --coinflip
+//   kmachine_cli --algo conn --input edges.txt --k 16
+//
+// Algorithms: conn | mst | flood | referee | mincut | 2ec | bipartite | leader
+// Graphs:     gnm | connected | path | cycle | star | complete | grid |
+//             communities | pa | dumbbell | cliquechain
+//             or --input FILE with one "u v [w]" edge per line ('#' comments)
+// Common flags: --n --m --k --seed --bandwidth --coordinator --coinflip
+//               --verify (compare against the sequential reference)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "kmm.hpp"
+
+namespace {
+
+using namespace kmm;
+
+struct Options {
+  std::string algo = "conn";
+  std::string graph = "gnm";
+  std::string input;  // edge-list file; overrides --graph
+  std::size_t n = 1024;
+  std::size_t m = 0;  // 0 => 3n
+  std::size_t rows = 32, cols = 32;
+  std::size_t lambda = 4;
+  std::size_t blocks = 8;
+  MachineId k = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t bandwidth = 0;  // 0 => ceil(log2 n)^2
+  bool coordinator = false;
+  bool coinflip = false;
+  bool verify = true;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --algo conn|mst|flood|referee|mincut|2ec|bipartite|leader\n"
+               "          --graph gnm|connected|path|cycle|star|complete|grid|"
+               "communities|pa|dumbbell|cliquechain\n"
+               "          [--n N] [--m M] [--rows R --cols C] [--lambda L]\n"
+               "          [--blocks B] [--k K] [--seed S] [--bandwidth BITS]\n"
+               "          [--coordinator] [--coinflip] [--no-verify]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--coordinator") {
+      opt.coordinator = true;
+    } else if (arg == "--coinflip") {
+      opt.coinflip = true;
+    } else if (arg == "--no-verify") {
+      opt.verify = false;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      kv[arg.substr(2)] = argv[++i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  const auto get_u64 = [&](const char* key, std::uint64_t dflt) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  };
+  if (kv.count("algo")) opt.algo = kv["algo"];
+  if (kv.count("graph")) opt.graph = kv["graph"];
+  if (kv.count("input")) opt.input = kv["input"];
+  opt.n = get_u64("n", opt.n);
+  opt.m = get_u64("m", 0);
+  opt.rows = get_u64("rows", opt.rows);
+  opt.cols = get_u64("cols", opt.cols);
+  opt.lambda = get_u64("lambda", opt.lambda);
+  opt.blocks = get_u64("blocks", opt.blocks);
+  opt.k = static_cast<MachineId>(get_u64("k", opt.k));
+  opt.seed = get_u64("seed", opt.seed);
+  opt.bandwidth = get_u64("bandwidth", 0);
+  return opt;
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<WeightedEdge> edges;
+  Vertex max_vertex = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0, w = 1;
+    if (!(ls >> u >> v)) continue;
+    ls >> w;  // optional weight
+    if (u == v) continue;
+    edges.push_back(WeightedEdge{static_cast<Vertex>(u), static_cast<Vertex>(v),
+                                 static_cast<Weight>(w)});
+    max_vertex = std::max({max_vertex, static_cast<Vertex>(u), static_cast<Vertex>(v)});
+  }
+  // Deduplicate (keep the first occurrence of each undirected edge).
+  GraphBuilder b(static_cast<std::size_t>(max_vertex) + 1);
+  for (const auto& e : edges) b.add_edge(e.u, e.v, e.w);
+  return b.build();
+}
+
+Graph make_graph(const Options& opt) {
+  if (!opt.input.empty()) return load_edge_list(opt.input);
+  Rng rng(split(opt.seed, 0x9a4f));
+  const std::size_t m = opt.m != 0 ? opt.m : 3 * opt.n;
+  if (opt.graph == "gnm") return gen::gnm(opt.n, m, rng);
+  if (opt.graph == "connected") return gen::connected_gnm(opt.n, m, rng);
+  if (opt.graph == "path") return gen::path(opt.n);
+  if (opt.graph == "cycle") return gen::cycle(opt.n);
+  if (opt.graph == "star") return gen::star(opt.n);
+  if (opt.graph == "complete") return gen::complete(opt.n);
+  if (opt.graph == "grid") return gen::grid(opt.rows, opt.cols);
+  if (opt.graph == "communities") {
+    return gen::planted_communities(opt.n, opt.blocks, 0.05, opt.blocks / 2, rng);
+  }
+  if (opt.graph == "pa") return gen::preferential_attachment(opt.n, 3, rng);
+  if (opt.graph == "dumbbell") return gen::dumbbell(opt.n, opt.lambda, rng);
+  if (opt.graph == "cliquechain") return gen::clique_chain(opt.n / 16, 16);
+  std::fprintf(stderr, "unknown graph family '%s'\n", opt.graph.c_str());
+  std::exit(2);
+}
+
+void print_stats(const char* what, const RunStats& stats) {
+  std::printf("%-12s rounds=%-10llu messages=%-10llu bits=%llu\n", what,
+              static_cast<unsigned long long>(stats.rounds),
+              static_cast<unsigned long long>(stats.messages),
+              static_cast<unsigned long long>(stats.bits));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  Graph g = make_graph(opt);
+  const std::size_t n = g.num_vertices();
+  std::printf("graph=%s n=%zu m=%zu | k=%u seed=%llu\n", opt.graph.c_str(), n,
+              g.num_edges(), opt.k, static_cast<unsigned long long>(opt.seed));
+
+  ClusterConfig ccfg = ClusterConfig::for_graph(n, opt.k);
+  if (opt.bandwidth != 0) ccfg.bandwidth_bits = opt.bandwidth;
+  Cluster cluster(ccfg);
+  std::printf("bandwidth=%llu bits/link/round\n",
+              static_cast<unsigned long long>(cluster.bandwidth_bits()));
+
+  BoruvkaConfig acfg;
+  acfg.seed = split(opt.seed, 0xa190);
+  acfg.single_coordinator = opt.coordinator;
+  acfg.merge_rule = opt.coinflip ? MergeRule::kCoinFlip : MergeRule::kDrr;
+
+  if (opt.algo == "leader") {
+    const auto res = elect_leader(cluster, acfg.seed);
+    std::printf("leader: machine %u\n", res.leader);
+    print_stats("leader", res.stats);
+    return 0;
+  }
+
+  const DistributedGraph dg(g, VertexPartition::random(n, opt.k, split(opt.seed, 0x9a97)));
+
+  if (opt.algo == "conn") {
+    const auto res = connected_components(cluster, dg, acfg);
+    std::printf("components=%llu phases=%zu forest_edges=%zu converged=%s\n",
+                static_cast<unsigned long long>(res.num_components), res.phases.size(),
+                res.forest_edges().size(), res.converged ? "yes" : "no");
+    print_stats("conn", res.stats);
+    if (opt.verify) {
+      const bool ok = canonical_labels(res.labels) == ref::component_labels(g);
+      std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
+      return ok ? 0 : 1;
+    }
+  } else if (opt.algo == "mst") {
+    Rng wrng(split(opt.seed, 0x3e16));
+    g = with_unique_weights(with_random_weights(g, wrng, 1'000'000));
+    const DistributedGraph wdg(g,
+                               VertexPartition::random(n, opt.k, split(opt.seed, 0x9a97)));
+    const auto res = minimum_spanning_forest(cluster, wdg, acfg);
+    Weight total = 0;
+    for (const auto& e : res.mst_edges()) total += e.w;
+    std::printf("mst_edges=%zu total_weight=%llu phases=%zu\n", res.mst_edges().size(),
+                static_cast<unsigned long long>(total), res.phases.size());
+    print_stats("mst", res.stats);
+    if (opt.verify) {
+      const bool ok = total == ref::msf_weight(g);
+      std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
+      return ok ? 0 : 1;
+    }
+  } else if (opt.algo == "flood") {
+    const auto res = flooding_connectivity(cluster, dg);
+    std::printf("components=%llu supersteps=%llu\n",
+                static_cast<unsigned long long>(res.num_components),
+                static_cast<unsigned long long>(res.supersteps));
+    print_stats("flood", res.stats);
+  } else if (opt.algo == "referee") {
+    const auto res = referee_connectivity(cluster, dg);
+    std::printf("components=%llu\n", static_cast<unsigned long long>(res.num_components));
+    print_stats("referee", res.stats);
+  } else if (opt.algo == "mincut") {
+    MinCutConfig mcfg;
+    mcfg.seed = acfg.seed;
+    const auto res = approximate_min_cut(cluster, dg, mcfg);
+    std::printf("estimate=%llu disconnect_level=%d connected=%s\n",
+                static_cast<unsigned long long>(res.estimate), res.disconnect_level,
+                res.graph_connected ? "yes" : "no");
+    print_stats("mincut", res.stats);
+    if (opt.verify && n <= 512) {
+      std::printf("exact (Stoer-Wagner): %llu\n",
+                  static_cast<unsigned long long>(ref::stoer_wagner_min_cut(g)));
+    }
+  } else if (opt.algo == "2ec") {
+    const auto res = two_edge_connectivity(cluster, dg, acfg);
+    std::printf("two_edge_connected=%s certificate_edges=%zu\n",
+                res.two_edge_connected ? "yes" : "no", res.certificate_edges);
+    print_stats("2ec", res.stats);
+    if (opt.verify) {
+      const bool ok = res.two_edge_connected == ref::is_two_edge_connected(g);
+      std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
+      return ok ? 0 : 1;
+    }
+  } else if (opt.algo == "bipartite") {
+    const auto res = verify_bipartiteness(cluster, dg, acfg);
+    std::printf("bipartite=%s\n", res.ok ? "yes" : "no");
+    print_stats("bipartite", res.stats);
+    if (opt.verify) {
+      const bool ok = res.ok == ref::is_bipartite(g);
+      std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
+      return ok ? 0 : 1;
+    }
+  } else {
+    usage(argv[0]);
+  }
+  return 0;
+}

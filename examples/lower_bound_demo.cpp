@@ -1,0 +1,47 @@
+// Scenario: watching a lower bound at work (Section 4, Figure 1).
+//
+// Builds spanning-connected-subgraph instances that encode set disjointness,
+// splits the k machines between "Alice" and "Bob", runs the real SCS
+// verifier, and meters the bits crossing the boundary — the quantity
+// Lemma 8 proves must be Ω(b). Watch the crossing traffic scale linearly
+// with b while the verdicts stay correct.
+//
+//   ./lower_bound_demo [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kmm;
+  const MachineId k =
+      argc > 1 ? static_cast<MachineId>(std::strtoul(argv[1], nullptr, 10)) : 8;
+
+  std::printf("Machines 0..%u are Alice, %u..%u are Bob.\n", k / 2 - 1, k / 2, k - 1);
+  std::printf("Instance: Figure-1 graph over disjointness vectors X, Y of b bits;\n");
+  std::printf("the candidate subgraph H is spanning-connected iff X and Y are "
+              "disjoint.\n\n");
+
+  std::printf("%6s %8s %14s %12s %10s %10s\n", "b", "class", "Alice<->Bob bits",
+              "bits per b", "verdict", "truth");
+  Rng rng(2016);
+  for (const std::size_t b : {64u, 256u, 1024u}) {
+    for (const bool disjoint : {true, false}) {
+      const auto inst = disjoint ? DisjointnessInstance::random_disjoint(b, 0.3, rng)
+                                 : DisjointnessInstance::random_intersecting(b, 0.3, rng);
+      const auto res = simulate_scs_two_party(inst, k, split(7, b * 2 + disjoint));
+      std::printf("%6zu %8s %14llu %12.0f %10s %10s%s\n", b,
+                  disjoint ? "disjoint" : "overlap",
+                  static_cast<unsigned long long>(res.cut_bits),
+                  static_cast<double>(res.cut_bits) / static_cast<double>(b),
+                  res.verdict ? "SCS" : "notSCS", res.expected ? "SCS" : "notSCS",
+                  res.verdict == res.expected ? "" : "  <-- WRONG");
+    }
+  }
+  std::printf(
+      "\nLemma 8: any protocol needs Omega(b) crossing bits; ours uses Theta~(b).\n"
+      "Dividing by the Theta(k^2) links between Alice and Bob gives the paper's\n"
+      "Omega~(n/k^2) round lower bound — the algorithm of Theorem 1 is optimal.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Scenario: how fragile is a datacenter interconnect?
+//
+// Two dense availability zones joined by a configurable number of
+// cross-zone trunks. The approximate min-cut (Theorem 3) estimates the
+// trunk count by sampling-and-testing connectivity — all in O~(n/k^2)
+// rounds — and we compare against the exact Stoer–Wagner value.
+//
+//   ./network_reliability [n] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kmm;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const MachineId k =
+      argc > 2 ? static_cast<MachineId>(std::strtoul(argv[2], nullptr, 10)) : 8;
+
+  std::printf("%8s %10s %10s %8s %10s\n", "trunks", "estimate", "exact", "ratio",
+              "rounds");
+  for (const std::size_t trunks : {std::size_t{2}, std::size_t{6}, std::size_t{18}}) {
+    Rng rng(split(17, trunks));
+    const Graph g = gen::dumbbell(n, trunks, rng);
+    const auto exact = ref::stoer_wagner_min_cut(g);
+
+    Cluster cluster(ClusterConfig::for_graph(n, k));
+    const DistributedGraph dg(g, VertexPartition::random(n, k, split(19, trunks)));
+    MinCutConfig config;
+    config.seed = split(23, trunks);
+    const auto result = approximate_min_cut(cluster, dg, config);
+
+    std::printf("%8zu %10llu %10llu %8.2f %10llu\n", trunks,
+                static_cast<unsigned long long>(result.estimate),
+                static_cast<unsigned long long>(exact),
+                static_cast<double>(result.estimate) / static_cast<double>(exact),
+                static_cast<unsigned long long>(result.stats.rounds));
+  }
+  std::printf("\nEstimates are O(log n)-approximate (Theorem 3): they expose the\n"
+              "difference between a 2-trunk and an 18-trunk interconnect without\n"
+              "ever collecting the topology on one machine.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: community detection prefilter on a social graph.
+//
+// A social network of dense friend-groups connected by a few bridges is
+// sharded across k machines. We find connected components with the sketch
+// algorithm, compare against the flooding baseline a Giraph-style system
+// would run, and report how the two scale when machines are added — the
+// question the k-machine model was built to answer.
+//
+//   ./social_network_components [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kmm;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+
+  Rng rng(1234);
+  // 25 communities of ~n/25 users; a handful of bridge friendships join
+  // some of them, leaving several isolated groups.
+  const Graph g = gen::planted_communities(n, 25, 0.08, 18, rng);
+  std::printf("social graph: %zu users, %zu friendships, %zu groups\n", g.num_vertices(),
+              g.num_edges(), ref::component_count(g));
+
+  std::printf("\n%6s %16s %16s %14s\n", "k", "sketch rounds", "flooding rounds",
+              "speedup vs k/2");
+  std::uint64_t prev_rounds = 0;
+  for (const MachineId k : {MachineId{4}, MachineId{8}, MachineId{16}, MachineId{32}}) {
+    const VertexPartition part = VertexPartition::random(n, k, 99);
+
+    Cluster sketch_cluster(ClusterConfig::for_graph(n, k));
+    const DistributedGraph dg(g, part);
+    BoruvkaConfig config;
+    config.seed = 555;
+    const auto sketch = connected_components(sketch_cluster, dg, config);
+
+    Cluster flood_cluster(ClusterConfig::for_graph(n, k));
+    const DistributedGraph dg2(g, part);
+    const auto flood = flooding_connectivity(flood_cluster, dg2);
+
+    if (canonical_labels(sketch.labels) !=
+        std::vector<Vertex>(flood.labels.begin(), flood.labels.end())) {
+      std::printf("DISAGREEMENT between algorithms!\n");
+      return 1;
+    }
+    std::printf("%6u %16llu %16llu", k,
+                static_cast<unsigned long long>(sketch.stats.rounds),
+                static_cast<unsigned long long>(flood.stats.rounds));
+    if (prev_rounds != 0) {
+      std::printf(" %13.1fx", static_cast<double>(prev_rounds) /
+                                  static_cast<double>(sketch.stats.rounds));
+    }
+    std::printf("\n");
+    prev_rounds = sketch.stats.rounds;
+  }
+  std::printf(
+      "\nEach doubling of k cuts the sketch algorithm's rounds 2-4x —\n"
+      "super-linear while n/k^2 dominates, tapering into the additive polylog\n"
+      "floor at large k (Theorem 1's O~; see EXPERIMENTS.md). Flooding is cheap\n"
+      "on these low-diameter graphs; its worst case (high diameter, hub\n"
+      "degrees) is measured in bench_baselines.\n");
+  return 0;
+}

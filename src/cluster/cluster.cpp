@@ -1,0 +1,90 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+ClusterConfig ClusterConfig::for_graph(std::size_t n, MachineId k) {
+  ClusterConfig cfg;
+  cfg.k = k;
+  // The canonical "O(polylog n) bits per link per round": B = ceil(log2 n)^2.
+  const auto lg = static_cast<std::uint64_t>(std::ceil(std::log2(std::max<std::size_t>(n, 4))));
+  cfg.bandwidth_bits = std::max<std::uint64_t>(64, lg * lg);
+  return cfg;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  KMM_CHECK_MSG(config_.k >= 2, "the k-machine model needs k >= 2");
+  KMM_CHECK(config_.bandwidth_bits >= 1);
+  inboxes_.resize(config_.k);
+  stats_.sent_bits_by_machine.assign(config_.k, 0);
+  stats_.received_bits_by_machine.assign(config_.k, 0);
+}
+
+void Cluster::send(Message msg) {
+  KMM_CHECK(msg.src < config_.k && msg.dst < config_.k);
+  outbox_.push_back(std::move(msg));
+}
+
+void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
+                   std::vector<std::uint64_t> payload, std::uint64_t bits) {
+  send(Message{src, dst, tag, std::move(payload), bits});
+}
+
+std::uint64_t Cluster::superstep() {
+  for (auto& inbox : inboxes_) inbox.clear();
+  if (outbox_.empty()) return 0;
+
+  // Per-directed-link bit loads for this superstep.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_bits;
+  link_bits.reserve(outbox_.size());
+
+  for (auto& msg : outbox_) {
+    if (msg.src == msg.dst) {
+      ++stats_.local_messages;
+      inboxes_[msg.dst].push_back(std::move(msg));
+      continue;
+    }
+    const std::uint64_t bits = msg.wire_bits();
+    const std::uint64_t link = static_cast<std::uint64_t>(msg.src) * config_.k + msg.dst;
+    link_bits[link] += bits;
+    if (!cut_side_.empty() && cut_side_[msg.src] != cut_side_[msg.dst]) {
+      stats_.cut_bits += bits;
+    }
+    stats_.total_bits += bits;
+    stats_.sent_bits_by_machine[msg.src] += bits;
+    stats_.received_bits_by_machine[msg.dst] += bits;
+    ++stats_.messages;
+    inboxes_[msg.dst].push_back(std::move(msg));
+  }
+  outbox_.clear();
+
+  std::uint64_t max_load = 0;
+  for (const auto& [link, bits] : link_bits) max_load = std::max(max_load, bits);
+
+  const std::uint64_t rounds =
+      max_load == 0 ? 0 : (max_load + config_.bandwidth_bits - 1) / config_.bandwidth_bits;
+  stats_.rounds += rounds;
+  ++stats_.supersteps;
+  stats_.max_link_bits = std::max(stats_.max_link_bits, max_load);
+  if (max_load > 0) stats_.superstep_link_max.add(static_cast<double>(max_load));
+  return rounds;
+}
+
+std::span<const Message> Cluster::inbox(MachineId m) const {
+  KMM_CHECK(m < config_.k);
+  return inboxes_[m];
+}
+
+void Cluster::charge_rounds(std::uint64_t rounds) { stats_.rounds += rounds; }
+
+void Cluster::track_cut(std::vector<std::uint8_t> side) {
+  KMM_CHECK_MSG(side.size() == config_.k, "cut side vector must cover all machines");
+  cut_side_ = std::move(side);
+}
+
+}  // namespace kmm

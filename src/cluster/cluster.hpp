@@ -1,0 +1,101 @@
+#pragma once
+// The k-machine model (Section 1.1) as a deterministic synchronous-round
+// simulator.
+//
+// k >= 2 machines are pairwise connected; each *directed* link carries
+// `bandwidth_bits` per round (the paper's O(polylog n) per-link budget; a
+// bidirectional link is two independent directions, a constant-factor
+// convention). Local computation is free.
+//
+// Algorithms run as a sequence of *supersteps*: every machine reads its
+// inbox, computes, and enqueues messages; `superstep()` then delivers
+// everything and charges
+//
+//     rounds = max over directed links  ceil(bits_on_link / bandwidth_bits)
+//
+// which is exactly how the paper costs a message schedule (Lemmas 1, 3-5:
+// "all messages are delivered within O~(n/k^2) rounds" = the most-loaded
+// link needs that many rounds). Self-addressed messages are local and free.
+//
+// The engine keeps a full ledger (rounds, messages, bits, per-superstep
+// per-link maxima, per-machine traffic) — the measurements every benchmark
+// in EXPERIMENTS.md is built on.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/message.hpp"
+#include "util/codec.hpp"
+#include "util/stats.hpp"
+
+namespace kmm {
+
+struct ClusterConfig {
+  MachineId k = 2;
+  std::uint64_t bandwidth_bits = 256;  // per directed link per round
+
+  /// The default budget used throughout tests and benches:
+  /// B = ceil(log2 n)^2 bits per link per round — the canonical concrete
+  /// choice of the model's "O(polylog n) bits per link per round".
+  static ClusterConfig for_graph(std::size_t n, MachineId k);
+};
+
+struct ClusterStats {
+  std::uint64_t rounds = 0;           // total rounds charged
+  std::uint64_t supersteps = 0;       // number of superstep() calls that sent data
+  std::uint64_t messages = 0;         // cross-machine messages delivered
+  std::uint64_t local_messages = 0;   // self-addressed (free) messages
+  std::uint64_t total_bits = 0;       // cross-machine wire bits
+  std::uint64_t max_link_bits = 0;    // largest per-link load seen in one superstep
+  std::uint64_t cut_bits = 0;         // bits crossing the registered machine cut
+  Accumulator superstep_link_max;     // distribution of per-superstep max link loads
+  std::vector<std::uint64_t> sent_bits_by_machine;
+  std::vector<std::uint64_t> received_bits_by_machine;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] MachineId k() const noexcept { return config_.k; }
+  [[nodiscard]] std::uint64_t bandwidth_bits() const noexcept { return config_.bandwidth_bits; }
+
+  /// Enqueue a message for the next superstep.
+  void send(Message msg);
+  void send(MachineId src, MachineId dst, std::uint32_t tag,
+            std::vector<std::uint64_t> payload, std::uint64_t bits = 0);
+
+  /// Deliver all enqueued messages; charge rounds; returns rounds charged.
+  /// After the call, inbox(m) holds machine m's received messages (in
+  /// deterministic send order) until the next superstep.
+  std::uint64_t superstep();
+
+  [[nodiscard]] std::span<const Message> inbox(MachineId m) const;
+
+  /// Charge rounds for a protocol whose cost is accounted analytically
+  /// (e.g. the Section 2.2 shared-randomness distribution).
+  void charge_rounds(std::uint64_t rounds);
+
+  /// Register a machine bipartition; from then on stats().cut_bits counts
+  /// every wire bit crossing it. Used by the Section 4 two-party (Alice /
+  /// Bob) simulation to measure the communication-complexity cost of a
+  /// k-machine protocol. `side` must have one entry (0 or 1) per machine.
+  void track_cut(std::vector<std::uint8_t> side);
+
+  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
+
+  /// Number of directed links, k(k-1).
+  [[nodiscard]] std::uint64_t directed_links() const noexcept {
+    return static_cast<std::uint64_t>(config_.k) * (config_.k - 1);
+  }
+
+ private:
+  ClusterConfig config_;
+  std::vector<Message> outbox_;                 // pending, in send order
+  std::vector<std::vector<Message>> inboxes_;   // per machine, current superstep
+  std::vector<std::uint8_t> cut_side_;          // empty = no cut tracked
+  ClusterStats stats_;
+};
+
+}  // namespace kmm

@@ -1,0 +1,27 @@
+#include "cluster/conversion.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+std::uint64_t conversion_rounds(const CongestedCliqueProfile& profile, std::uint32_t k,
+                                std::uint64_t polylog_factor) {
+  KMM_CHECK(k >= 2);
+  const std::uint64_t k2 = static_cast<std::uint64_t>(k) * k;
+  const std::uint64_t term_msgs = (profile.message_complexity + k2 - 1) / k2;
+  const std::uint64_t term_cong =
+      (profile.max_node_degree_msgs * profile.round_complexity + k - 1) / k;
+  return polylog_factor * (term_msgs + term_cong);
+}
+
+CongestedCliqueProfile flooding_profile(std::uint64_t n, std::uint64_t m,
+                                        std::uint64_t diameter, std::uint64_t max_degree) {
+  CongestedCliqueProfile p;
+  p.round_complexity = diameter + 1;
+  p.message_complexity = 2 * m * (diameter + 1);  // every edge both ways per round, worst case
+  p.max_node_degree_msgs = max_degree;
+  (void)n;
+  return p;
+}
+
+}  // namespace kmm

@@ -1,0 +1,39 @@
+#pragma once
+// The Conversion Theorem cost model ([22], Theorem 4.1; discussed in
+// Sections 1.2 and 2 of the paper).
+//
+// A congested-clique algorithm with message complexity M, round complexity
+// T, and per-node per-round message bound Δ' can be simulated in the
+// k-machine model in O~(M/k^2 + Δ'T/k) rounds. The paper uses this to
+// explain why classic algorithms (GHS, flooding) are stuck at Ω~(n/k):
+// their Δ' scales with the maximum degree.
+//
+// We expose the bound as an explicit cost model so benches can print the
+// "converted" cost of a baseline next to the directly measured cost of the
+// paper's algorithm (experiment E13).
+
+#include <cstdint>
+
+namespace kmm {
+
+struct CongestedCliqueProfile {
+  std::uint64_t message_complexity = 0;  // M: total messages
+  std::uint64_t round_complexity = 0;    // T: rounds
+  std::uint64_t max_node_degree_msgs = 0;  // Δ': per-node per-round messages
+};
+
+/// Rounds predicted by the Conversion Theorem for simulating the profiled
+/// congested-clique algorithm on k machines. `polylog_factor` models the
+/// hidden polylog; 1 gives the bare bound.
+[[nodiscard]] std::uint64_t conversion_rounds(const CongestedCliqueProfile& profile,
+                                              std::uint32_t k,
+                                              std::uint64_t polylog_factor = 1);
+
+/// Profile of flooding on an n-vertex, m-edge graph of diameter D: every
+/// edge may carry a label per round for up to D rounds, and Δ' is the max
+/// degree. Used by bench_conversion.
+[[nodiscard]] CongestedCliqueProfile flooding_profile(std::uint64_t n, std::uint64_t m,
+                                                      std::uint64_t diameter,
+                                                      std::uint64_t max_degree);
+
+}  // namespace kmm

@@ -1,0 +1,30 @@
+#include "cluster/distributed_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+DistributedGraph::DistributedGraph(const Graph& graph, VertexPartition partition)
+    : graph_(&graph), partition_(std::move(partition)) {
+  KMM_CHECK_MSG(partition_.num_vertices() == graph.num_vertices(),
+                "partition size must match the graph");
+  hosted_.resize(partition_.machines());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    hosted_[partition_.home(v)].push_back(v);
+  }
+}
+
+std::span<const Vertex> DistributedGraph::vertices_of(MachineId i) const {
+  KMM_CHECK(i < hosted_.size());
+  return hosted_[i];
+}
+
+std::size_t DistributedGraph::max_machine_load() const {
+  std::size_t best = 0;
+  for (const auto& h : hosted_) best = std::max(best, h.size());
+  return best;
+}
+
+}  // namespace kmm

@@ -1,0 +1,48 @@
+#pragma once
+// A graph distributed over k machines under a vertex partition.
+//
+// Mirrors the model's initial knowledge (Section 1.1): the home machine of v
+// knows v's incident edges, their weights, and — because RVP is realized by
+// hashing — the home machine of every neighbor. Algorithms must only touch
+// adjacency through the hosting machine; the per-machine vertex lists below
+// are the iteration order that discipline uses.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace kmm {
+
+class DistributedGraph {
+ public:
+  DistributedGraph(const Graph& graph, VertexPartition partition);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const VertexPartition& partition() const noexcept { return partition_; }
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return graph_->num_vertices(); }
+  [[nodiscard]] MachineId machines() const noexcept { return partition_.machines(); }
+  [[nodiscard]] MachineId home(Vertex v) const { return partition_.home(v); }
+
+  /// Vertices hosted by machine i (ascending ids; deterministic).
+  [[nodiscard]] std::span<const Vertex> vertices_of(MachineId i) const;
+
+  /// Local adjacency view for a hosted vertex.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(Vertex v) const {
+    return graph_->neighbors(v);
+  }
+
+  /// max_i |vertices_of(i)| — the Θ~(n/k) balance the RVP guarantees.
+  [[nodiscard]] std::size_t max_machine_load() const;
+
+ private:
+  const Graph* graph_;  // non-owning; outlives this view
+  VertexPartition partition_;
+  std::vector<std::vector<Vertex>> hosted_;
+};
+
+}  // namespace kmm

@@ -1,0 +1,33 @@
+#pragma once
+// Message envelope for the k-machine simulator.
+//
+// `bits` is the logical wire size charged against link bandwidth. Senders
+// set it to what a real encoding would use (e.g. a vertex id costs
+// ceil(log2 n) bits, a sketch cell 61 bits); when left 0 it defaults to
+// 64 bits per payload word. Every message additionally pays a fixed header
+// (tag + framing), mirroring the O(log k) addressing overhead the paper
+// accounts for in the Theorem 5 simulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/partition.hpp"
+
+namespace kmm {
+
+inline constexpr std::uint64_t kMessageHeaderBits = 16;
+
+struct Message {
+  MachineId src = 0;
+  MachineId dst = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::uint64_t> payload;
+  std::uint64_t bits = 0;  // payload bits excluding header; 0 = 64*words
+
+  [[nodiscard]] std::uint64_t wire_bits() const noexcept {
+    const std::uint64_t body = bits != 0 ? bits : 64 * payload.size();
+    return body + kMessageHeaderBits;
+  }
+};
+
+}  // namespace kmm

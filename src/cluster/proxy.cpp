@@ -1,0 +1,4 @@
+#include "cluster/proxy.hpp"
+
+// ProxyMap is header-only; this translation unit exists to anchor the
+// library target (and any future out-of-line helpers).

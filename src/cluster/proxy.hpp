@@ -1,0 +1,48 @@
+#pragma once
+// Randomized proxy computation (Section 2.2, Lemma 1).
+//
+// Each component label is mapped to a uniformly pseudo-random machine by a
+// hash every machine can evaluate locally (the shared h_{j,rho}). A fresh
+// ProxyMap per (phase, iteration) keeps proxy choices independent across
+// iterations, as Lemma 5 requires.
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+
+class ProxyMap {
+ public:
+  ProxyMap(std::uint64_t seed, MachineId k) noexcept : seed_(seed), k_(k) {}
+
+  /// Degenerate map sending every component to one fixed machine — the
+  /// "trivial strategy" of Section 1.2 (ship all sketches to a coordinator)
+  /// that congests one node into O~(n/k) rounds. Exists for the ablation
+  /// experiments; never used by the real algorithm.
+  static ProxyMap fixed(MachineId coordinator, MachineId k) noexcept {
+    ProxyMap p(0, k);
+    p.fixed_ = true;
+    p.coordinator_ = coordinator;
+    return p;
+  }
+
+  /// The proxy machine responsible for `label` this iteration.
+  [[nodiscard]] MachineId proxy_of(std::uint64_t label) const noexcept {
+    if (fixed_) return coordinator_;
+    return static_cast<MachineId>(split(seed_, label) % k_);
+  }
+
+  [[nodiscard]] MachineId machines() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] bool is_fixed() const noexcept { return fixed_; }
+
+ private:
+  std::uint64_t seed_;
+  MachineId k_;
+  bool fixed_ = false;
+  MachineId coordinator_ = 0;
+};
+
+}  // namespace kmm

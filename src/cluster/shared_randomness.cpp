@@ -1,0 +1,23 @@
+#include "cluster/shared_randomness.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+std::uint64_t SharedRandomness::distribution_rounds(std::uint64_t bits, MachineId k,
+                                                    std::uint64_t bandwidth_bits) {
+  KMM_CHECK(k >= 2 && bandwidth_bits >= 1);
+  const std::uint64_t per_step =
+      static_cast<std::uint64_t>(k - 1) * bandwidth_bits;  // common bits per 2 rounds
+  return 2 * ((bits + per_step - 1) / per_step);
+}
+
+std::uint64_t SharedRandomness::charge_distribution(Cluster& cluster, std::uint64_t bits) {
+  const std::uint64_t rounds =
+      distribution_rounds(bits, cluster.k(), cluster.bandwidth_bits());
+  cluster.charge_rounds(rounds);
+  bits_distributed_ += bits;
+  return rounds;
+}
+
+}  // namespace kmm

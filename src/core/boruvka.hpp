@@ -1,0 +1,191 @@
+#pragma once
+// The Borůvka-style engine behind both the O~(n/k^2) connectivity algorithm
+// (Section 2) and the MST algorithm (Section 3.1).
+//
+// One *phase* executes, in order:
+//
+//   1. shared-randomness charge        (Section 2.2 relay cost)
+//   2. outgoing-edge selection loop    (Sections 2.3-2.4; for MST the
+//      Section 3.1 weight-threshold elimination until the MWOE is
+//      *confirmed* by an empty restricted sketch)
+//   3. DRR ranking + child registration (Section 2.5)
+//   4. level-wise tree merging with per-iteration fresh proxies and
+//      proxy-to-proxy record handoffs   (Section 2.5, Lemma 5)
+//   5. termination check                (O(1)-round OR-reduce)
+//
+// All inter-machine coordination happens through Cluster messages, so the
+// round/bit ledger reflects the full protocol, including label/weight
+// lookups at home machines and all control traffic.
+//
+// Modes:
+//  * kConnectivity — samples any outgoing edge; merge edges form a spanning
+//    forest (each edge recorded by the proxy machine that performed the
+//    merge, i.e. the relaxed "some machine knows each edge" criterion of
+//    Theorem 2(a) applied to spanning trees).
+//  * kMst — iterates the elimination loop per component until the minimum
+//    weight outgoing edge is confirmed; every confirmed MWOE is output
+//    (cut property), so with distinct weights the union over machines is
+//    exactly the MST.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/distributed_graph.hpp"
+#include "cluster/proxy.hpp"
+#include "cluster/shared_randomness.hpp"
+#include "core/common.hpp"
+#include "sketch/graph_sketch.hpp"
+
+namespace kmm {
+
+enum class BoruvkaMode { kConnectivity, kMst };
+
+/// How sampled inter-component edges turn into merges (Section 2.5).
+enum class MergeRule {
+  /// Distributed random ranking: attach to the selected neighbor iff its
+  /// rank is higher; trees of depth O(log n) (the paper's default).
+  kDrr,
+  /// Footnote 9's simpler alternative: components flip a shared coin and a
+  /// merge happens only along edges from a 0-component to a 1-component;
+  /// trees have depth 1 but only ~1/4 of selections merge per phase.
+  kCoinFlip,
+};
+
+struct BoruvkaConfig {
+  std::uint64_t seed = 1;        // master seed for the shared random tape
+  int sketch_copies = 3;         // l0-sampler repetitions
+  int max_phases = 0;            // 0 => the Lemma 7 bound 12*ceil(log2 n)
+  bool charge_randomness = true; // charge the Section 2.2 relay each phase
+  bool count_components = true;  // run the final counting protocol
+  int max_elimination_iterations = 200;  // safety cap (expected O(log n))
+  int max_merge_iterations = 200;        // safety cap (expected O(log n))
+  MergeRule merge_rule = MergeRule::kDrr;
+  /// Ablation only: route every component through one coordinator machine
+  /// instead of random proxies — the congested "trivial strategy" of
+  /// Section 1.2. Correctness is unaffected; rounds degrade to O~(n/k).
+  bool single_coordinator = false;
+};
+
+struct PhaseTrace {
+  std::uint32_t phase = 0;
+  std::uint64_t components_before = 0;  // distinct labels entering the phase
+  std::uint64_t components_after = 0;
+  std::uint32_t elimination_iterations = 0;
+  std::uint32_t merge_iterations = 0;   // DRR tree depth processed
+  std::uint64_t rounds = 0;             // rounds charged during the phase
+};
+
+struct BoruvkaResult {
+  std::vector<Label> labels;  // final component label per vertex
+  std::uint64_t num_components = 0;
+  bool converged = false;     // all components finished before max_phases
+
+  /// Spanning-forest merge edges, per recording machine (kConnectivity).
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> forest_by_machine;
+  /// Confirmed MWOEs, per recording machine (kMst).
+  std::vector<std::vector<WeightedEdge>> mst_by_machine;
+
+  std::vector<PhaseTrace> phases;
+  std::uint32_t max_merge_iterations = 0;   // max DRR merge depth over phases
+  std::uint64_t sampler_retries = 0;        // sample() failures on nonzero sketches
+  RunStats stats;
+
+  /// All forest/MST edges flattened (deduplicated, sorted).
+  [[nodiscard]] std::vector<std::pair<Vertex, Vertex>> forest_edges() const;
+  [[nodiscard]] std::vector<WeightedEdge> mst_edges() const;
+};
+
+class BoruvkaEngine {
+ public:
+  BoruvkaEngine(Cluster& cluster, const DistributedGraph& dg, BoruvkaConfig config,
+                BoruvkaMode mode);
+
+  BoruvkaResult run();
+
+ private:
+  enum State : std::uint8_t {
+    kSearching = 0,
+    kAwaitWeight = 1,
+    kAwaitLabel = 2,
+    kDone = 3,
+    kFinishedState = 4,
+  };
+
+  /// Proxy-side component record; travels between proxy generations in
+  /// handoff messages.
+  struct Record {
+    State state = kSearching;
+    Label parent;                  // == label for roots
+    std::uint32_t children_left = 0;
+    Weight thr = kNoWeightLimit;   // MST elimination threshold
+    bool has_candidate = false;
+    Vertex cand_in = 0, cand_out = 0;  // candidate edge, in ∈ C
+    Weight cand_w = 0;
+    Label target = 0;              // label on the other side of the edge
+    std::vector<std::uint64_t> srcs;  // k-bit mask of machines holding parts
+  };
+
+  // -- phase steps ---------------------------------------------------------
+  void charge_phase_randomness();
+  bool any_active_parts();
+  std::uint32_t run_elimination_loop(std::uint32_t phase);
+  void run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen);
+  std::uint32_t run_merge_loop(std::uint32_t phase, std::uint32_t last_gen);
+  void run_component_count();
+
+  // -- helpers -------------------------------------------------------------
+  [[nodiscard]] ProxyMap elimination_proxies(std::uint32_t phase, std::uint32_t t) const;
+  [[nodiscard]] ProxyMap merge_proxies(std::uint32_t phase, std::uint32_t rho) const;
+  void send_handoffs(const std::map<Label, Record>& from, MachineId from_machine,
+                     const ProxyMap& to);
+  void apply_handoff(WordReader& reader, std::map<Label, Record>& into);
+  void send_directive(MachineId proxy_machine, const Record& rec, Label label, bool finished);
+  void relabel_part(MachineId machine, Label from, Label to);
+  [[nodiscard]] std::uint64_t count_distinct_labels() const;  // instrumentation only
+
+  [[nodiscard]] std::size_t mask_words() const { return (cluster_->k() + 63) / 64; }
+  static void mask_set(std::vector<std::uint64_t>& mask, MachineId m) {
+    mask[m / 64] |= 1ULL << (m % 64);
+  }
+  static void mask_or(std::vector<std::uint64_t>& mask,
+                      const std::vector<std::uint64_t>& other) {
+    for (std::size_t i = 0; i < mask.size(); ++i) mask[i] |= other[i];
+  }
+  template <typename Fn>
+  void mask_for_each(const std::vector<std::uint64_t>& mask, Fn fn) const {
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      std::uint64_t bits = mask[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<MachineId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  Cluster* cluster_;
+  const DistributedGraph* dg_;
+  BoruvkaConfig config_;
+  BoruvkaMode mode_;
+  SharedRandomness shared_;
+  std::size_t n_;
+  std::uint64_t label_bits_;  // wire bits of one label / vertex id
+
+  // Home-machine state.
+  std::vector<std::map<Label, std::vector<Vertex>>> machine_parts_;
+  std::vector<std::set<Label>> resend_;  // labels to re-sketch next iteration
+  std::vector<std::map<Label, Weight>> part_thr_;  // per-machine thresholds
+  std::vector<Label> labels_;    // labels_[v], authoritative at home(v)
+  std::vector<char> finished_;   // by label id
+
+  // Proxy-side records for the current proxy generation.
+  std::vector<std::map<Label, Record>> proxy_records_;
+
+  BoruvkaResult result_;
+};
+
+}  // namespace kmm

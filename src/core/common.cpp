@@ -1,0 +1,43 @@
+#include "core/common.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+bool or_reduce_broadcast(Cluster& cluster, const std::vector<char>& machine_bit,
+                         std::uint32_t tag) {
+  const MachineId k = cluster.k();
+  KMM_CHECK(machine_bit.size() == k);
+  for (MachineId i = 0; i < k; ++i) {
+    if (machine_bit[i]) cluster.send(i, 0, tag, {}, 1);
+  }
+  cluster.superstep();
+  const bool any = !cluster.inbox(0).empty() || machine_bit[0];
+  for (MachineId i = 1; i < k; ++i) {
+    cluster.send(0, i, tag, {any ? 1ULL : 0ULL}, 1);
+  }
+  cluster.superstep();
+  return any;
+}
+
+std::uint64_t sum_reduce_broadcast(Cluster& cluster,
+                                   const std::vector<std::uint64_t>& machine_value,
+                                   std::uint32_t tag) {
+  const MachineId k = cluster.k();
+  KMM_CHECK(machine_value.size() == k);
+  for (MachineId i = 1; i < k; ++i) {
+    cluster.send(i, 0, tag, {machine_value[i]}, 64);
+  }
+  cluster.superstep();
+  std::uint64_t total = machine_value[0];
+  for (const auto& msg : cluster.inbox(0)) {
+    if (msg.tag == tag) total += msg.payload.at(0);
+  }
+  for (MachineId i = 1; i < k; ++i) {
+    cluster.send(0, i, tag, {total}, 64);
+  }
+  cluster.superstep();
+  return total;
+}
+
+}  // namespace kmm

@@ -1,0 +1,58 @@
+#pragma once
+// Shared types and small protocols used by the Section 2/3 algorithms.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/distributed_graph.hpp"
+
+namespace kmm {
+
+/// Component labels are vertex ids promoted to 64 bits (the paper labels
+/// components by node ids from [n]).
+using Label = std::uint64_t;
+
+/// Round/traffic snapshot of one algorithm run, derived from the cluster
+/// ledger (difference between start and end of run()).
+struct RunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t supersteps = 0;
+};
+
+class StatsScope {
+ public:
+  explicit StatsScope(const Cluster& cluster) noexcept
+      : cluster_(&cluster),
+        rounds0_(cluster.stats().rounds),
+        msgs0_(cluster.stats().messages),
+        bits0_(cluster.stats().total_bits),
+        steps0_(cluster.stats().supersteps) {}
+
+  [[nodiscard]] RunStats snapshot() const noexcept {
+    const auto& s = cluster_->stats();
+    return RunStats{s.rounds - rounds0_, s.messages - msgs0_, s.total_bits - bits0_,
+                    s.supersteps - steps0_};
+  }
+
+ private:
+  const Cluster* cluster_;
+  std::uint64_t rounds0_, msgs0_, bits0_, steps0_;
+};
+
+/// Distributed boolean OR + broadcast of the result ("does anyone still
+/// have work?"). Machines with a set bit report to M1 (machine 0), which
+/// broadcasts the OR back; costs 2 supersteps with at most k-1 one-bit
+/// messages each — the paper's standard O(1)-round control primitive.
+[[nodiscard]] bool or_reduce_broadcast(Cluster& cluster, const std::vector<char>& machine_bit,
+                                       std::uint32_t tag);
+
+/// Distributed sum of per-machine counters at M1, broadcast back.
+/// Same two-superstep pattern with counter payloads.
+[[nodiscard]] std::uint64_t sum_reduce_broadcast(Cluster& cluster,
+                                                 const std::vector<std::uint64_t>& machine_value,
+                                                 std::uint32_t tag);
+
+}  // namespace kmm

@@ -1,0 +1,23 @@
+#pragma once
+// Public entry point for the paper's main result (Theorem 1): connected
+// components in O~(n/k^2) rounds in the k-machine model.
+//
+// Returns per-vertex component labels, the number of components (computed
+// by the distributed counting protocol at the end of Section 2), and a
+// spanning forest under the relaxed output criterion — every forest edge is
+// known to at least one machine, namely the proxy that performed the merge.
+
+#include "core/boruvka.hpp"
+
+namespace kmm {
+
+/// Runs the Section 2 algorithm. Handles the trivial n <= 1 cases without
+/// engaging the engine.
+[[nodiscard]] BoruvkaResult connected_components(Cluster& cluster, const DistributedGraph& dg,
+                                                 const BoruvkaConfig& config = {});
+
+/// Convenience: canonicalize labels so each component is labeled by its
+/// smallest member vertex (comparable to ref::component_labels).
+[[nodiscard]] std::vector<Vertex> canonical_labels(const std::vector<Label>& labels);
+
+}  // namespace kmm

@@ -1,0 +1,54 @@
+#include "core/drr.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+DrrRank drr_rank(std::uint64_t rank_seed, Label label) noexcept {
+  return DrrRank{split(rank_seed, label), label};
+}
+
+bool drr_attaches(std::uint64_t rank_seed, Label child, Label parent) noexcept {
+  return drr_rank(rank_seed, child) < drr_rank(rank_seed, parent);
+}
+
+DrrForest DrrForest::build(const std::vector<std::uint32_t>& target, std::uint64_t rank_seed) {
+  const auto c = static_cast<std::uint32_t>(target.size());
+  DrrForest f;
+  f.parent.resize(c);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    const std::uint32_t t = target[i];
+    KMM_CHECK(t < c);
+    const bool attach = t != i && drr_attaches(rank_seed, i, t);
+    f.parent[i] = attach ? t : i;
+  }
+  // Depths: follow parent pointers; the rank order guarantees acyclicity,
+  // so path lengths are bounded by c (checked).
+  f.depth.assign(c, 0);
+  std::vector<char> resolved(c, 0);
+  for (std::uint32_t i = 0; i < c; ++i) {
+    // Walk up collecting the path, then assign depths top-down.
+    std::vector<std::uint32_t> path;
+    std::uint32_t v = i;
+    while (!resolved[v] && f.parent[v] != v) {
+      path.push_back(v);
+      v = f.parent[v];
+      KMM_CHECK_MSG(path.size() <= c, "cycle in DRR forest");
+    }
+    std::uint32_t d = resolved[v] ? f.depth[v] : 0;
+    resolved[v] = 1;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      f.depth[*it] = ++d;
+      resolved[*it] = 1;
+    }
+  }
+  for (std::uint32_t i = 0; i < c; ++i) {
+    f.max_depth = std::max(f.max_depth, f.depth[i]);
+    if (f.parent[i] == i) ++f.roots;
+  }
+  return f;
+}
+
+}  // namespace kmm

@@ -1,0 +1,52 @@
+#pragma once
+// Distributed random ranking (Section 2.5; Chen–Pandurangan [8]).
+//
+// Components pick pseudo-random ranks; a component becomes the child of the
+// component across its selected outgoing edge iff that component has a
+// strictly higher rank, producing a forest of rooted trees of depth
+// O(log n) w.h.p. (Lemma 6, re-proved in the paper's appendix).
+//
+// The connectivity/MST drivers apply the rank rule inline at the proxies;
+// this module exposes the same rule as pure functions plus a sequential
+// forest builder used by the Lemma 6 experiments (bench_drr_depth) and the
+// DRR unit/property tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+
+/// Rank of a component label under the shared phase seed. Total order:
+/// (hash, label) lexicographic, so ranks are always distinct — the
+/// "Θ(log n) bits break ties w.h.p." footnote made exact.
+struct DrrRank {
+  std::uint64_t hash;
+  Label label;
+
+  friend bool operator<(const DrrRank& a, const DrrRank& b) noexcept {
+    return a.hash != b.hash ? a.hash < b.hash : a.label < b.label;
+  }
+  friend bool operator==(const DrrRank&, const DrrRank&) = default;
+};
+
+[[nodiscard]] DrrRank drr_rank(std::uint64_t rank_seed, Label label) noexcept;
+
+/// True iff `child` must attach below `parent` (parent has higher rank).
+[[nodiscard]] bool drr_attaches(std::uint64_t rank_seed, Label child, Label parent) noexcept;
+
+/// Sequentially built DRR forest over `c` components where component i has
+/// selected component `target[i]` via its outgoing edge (target[i] == i
+/// means no outgoing edge / no selection).
+struct DrrForest {
+  std::vector<std::uint32_t> parent;  // parent[i] == i for roots
+  std::vector<std::uint32_t> depth;   // root depth 0
+  std::uint32_t max_depth = 0;
+  std::uint32_t roots = 0;
+
+  static DrrForest build(const std::vector<std::uint32_t>& target, std::uint64_t rank_seed);
+};
+
+}  // namespace kmm

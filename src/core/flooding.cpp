@@ -1,0 +1,112 @@
+#include "core/flooding.hpp"
+
+#include <deque>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/codec.hpp"
+
+namespace kmm {
+
+namespace {
+constexpr std::uint32_t kTagFlood = 1;
+constexpr std::uint32_t kTagCtrl = 2;
+
+/// Push the labels of `dirty` vertices through the machine-local subgraph
+/// to fixpoint; returns the set of vertices whose label changed (including
+/// the dirty seeds themselves so boundary sends cover them).
+void local_propagate(const DistributedGraph& dg, MachineId machine,
+                     std::vector<Label>& labels, std::vector<char>& changed,
+                     std::deque<Vertex>& queue) {
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (const auto& he : dg.neighbors(v)) {
+      if (dg.home(he.to) != machine) continue;
+      if (labels[v] < labels[he.to]) {
+        labels[he.to] = labels[v];
+        changed[he.to] = 1;
+        queue.push_back(he.to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FloodingResult flooding_connectivity(Cluster& cluster, const DistributedGraph& dg,
+                                     std::uint64_t max_supersteps) {
+  const StatsScope scope(*&cluster);
+  const std::size_t n = dg.num_vertices();
+  const MachineId k = cluster.k();
+  const std::uint64_t label_bits = bits_for(std::max<std::uint64_t>(n, 2));
+  if (max_supersteps == 0) max_supersteps = n + 1;
+
+  FloodingResult result;
+  result.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) result.labels[v] = v;
+
+  // Initially every vertex is "changed" so the first superstep floods all
+  // boundaries; machine-local fixpoints run before any send.
+  std::vector<char> changed(n, 1);
+  for (MachineId i = 0; i < k; ++i) {
+    std::deque<Vertex> queue(dg.vertices_of(i).begin(), dg.vertices_of(i).end());
+    local_propagate(dg, i, result.labels, changed, queue);
+  }
+
+  for (std::uint64_t step = 0;; ++step) {
+    KMM_CHECK_MSG(step <= max_supersteps, "flooding failed to converge");
+    // Boundary exchange: per (machine, remote target vertex) send the best
+    // candidate label among changed local neighbors.
+    std::vector<char> bit(k, 0);  // bit[i] = machine i sent this step
+    for (MachineId i = 0; i < k; ++i) {
+      std::map<Vertex, Label> best;  // remote vertex -> candidate label
+      for (const Vertex v : dg.vertices_of(i)) {
+        if (!changed[v]) continue;
+        for (const auto& he : dg.neighbors(v)) {
+          if (dg.home(he.to) == i) continue;
+          const auto [it, fresh] = best.emplace(he.to, result.labels[v]);
+          if (!fresh && result.labels[v] < it->second) it->second = result.labels[v];
+        }
+      }
+      for (const Vertex v : dg.vertices_of(i)) changed[v] = 0;
+      for (const auto& [target, label] : best) {
+        cluster.send(i, dg.home(target), kTagFlood, {target, label}, 2 * label_bits);
+        bit[i] = 1;
+      }
+    }
+    cluster.superstep();
+    for (MachineId i = 0; i < k; ++i) {
+      std::deque<Vertex> queue;
+      for (const auto& msg : cluster.inbox(i)) {
+        if (msg.tag != kTagFlood) continue;
+        const auto v = static_cast<Vertex>(msg.payload.at(0));
+        const Label label = msg.payload.at(1);
+        if (label < result.labels[v]) {
+          result.labels[v] = label;
+          changed[v] = 1;
+          queue.push_back(v);
+        }
+      }
+      local_propagate(dg, i, result.labels, changed, queue);
+    }
+    result.supersteps = step + 1;
+    if (!or_reduce_broadcast(cluster, bit, kTagCtrl)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Component count for convenience (instrumentation over final labels).
+  std::vector<char> seen(n, 0);
+  for (const Label label : result.labels) {
+    if (!seen[label]) {
+      seen[label] = 1;
+      ++result.num_components;
+    }
+  }
+  result.stats = scope.snapshot();
+  return result;
+}
+
+}  // namespace kmm

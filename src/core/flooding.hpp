@@ -1,0 +1,34 @@
+#pragma once
+// Flooding baseline (Section 1.2 warm-up): every vertex floods the smallest
+// label it has seen; Θ(n/k + D) rounds in the k-machine model via the
+// Conversion Theorem. Implemented directly so the measured per-link loads
+// show *why* it is stuck at ~n/k: high-degree boundary vertices congest the
+// links of their home machine.
+//
+// The k-machine locality advantage is honored: label propagation among
+// vertices hosted on the same machine happens in-place (free local
+// computation); only labels crossing machine boundaries cost bandwidth,
+// and per (target vertex, round) the sender aggregates to the minimum
+// candidate label (legal local preprocessing).
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace kmm {
+
+struct FloodingResult {
+  std::vector<Label> labels;       // smallest vertex id in the component
+  std::uint64_t num_components = 0;
+  std::uint64_t supersteps = 0;    // boundary-exchange iterations
+  bool converged = false;
+  RunStats stats;
+};
+
+/// `max_supersteps` caps the iteration count (0 = n+1, always sufficient:
+/// the smallest label needs at most one superstep per boundary hop).
+[[nodiscard]] FloodingResult flooding_connectivity(Cluster& cluster,
+                                                   const DistributedGraph& dg,
+                                                   std::uint64_t max_supersteps = 0);
+
+}  // namespace kmm

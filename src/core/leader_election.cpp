@@ -1,0 +1,47 @@
+#include "core/leader_election.hpp"
+
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+
+namespace {
+constexpr std::uint32_t kTagTicket = 71;
+}
+
+LeaderResult elect_leader(Cluster& cluster, std::uint64_t seed) {
+  const StatsScope scope(cluster);
+  const MachineId k = cluster.k();
+
+  // Machine i's private ticket; modeled as split(seed, i) so the run is
+  // reproducible, exactly like the machines' private tapes elsewhere.
+  std::vector<std::uint64_t> ticket(k);
+  for (MachineId i = 0; i < k; ++i) {
+    ticket[i] = split(seed, i);
+    for (MachineId j = 0; j < k; ++j) {
+      if (j != i) cluster.send(i, j, kTagTicket, {ticket[i]}, 64);
+    }
+  }
+  cluster.superstep();
+
+  // Every machine computes the same minimum; verify the views agree.
+  LeaderResult result;
+  bool first = true;
+  for (MachineId i = 0; i < k; ++i) {
+    std::pair<std::uint64_t, MachineId> best{ticket[i], i};
+    for (const auto& msg : cluster.inbox(i)) {
+      if (msg.tag != kTagTicket) continue;
+      best = std::min(best, {msg.payload.at(0), msg.src});
+    }
+    if (first) {
+      result.leader = best.second;
+      first = false;
+    } else {
+      KMM_CHECK_MSG(best.second == result.leader, "machines disagree on the leader");
+    }
+  }
+  result.stats = scope.snapshot();
+  return result;
+}
+
+}  // namespace kmm

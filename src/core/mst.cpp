@@ -1,0 +1,71 @@
+#include "core/mst.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/codec.hpp"
+
+namespace kmm {
+
+namespace {
+constexpr std::uint32_t kTagAnnounce = 61;
+}
+
+BoruvkaResult minimum_spanning_forest(Cluster& cluster, const DistributedGraph& dg,
+                                      const BoruvkaConfig& config,
+                                      bool require_unique_weights) {
+  if (dg.num_vertices() < 2) {
+    BoruvkaResult trivial;
+    trivial.labels.assign(dg.num_vertices(), 0);
+    trivial.num_components = dg.num_vertices();
+    trivial.converged = true;
+    trivial.forest_by_machine.resize(cluster.k());
+    trivial.mst_by_machine.resize(cluster.k());
+    return trivial;
+  }
+  if (require_unique_weights) {
+    KMM_CHECK_MSG(dg.graph().has_unique_weights(),
+                  "MST exactness requires distinct edge weights "
+                  "(see with_unique_weights)");
+  }
+  BoruvkaEngine engine(cluster, dg, config, BoruvkaMode::kMst);
+  return engine.run();
+}
+
+StrictMstOutput announce_mst_to_home_machines(Cluster& cluster, const DistributedGraph& dg,
+                                              const BoruvkaResult& mst) {
+  const StatsScope scope(cluster);
+  const MachineId k = cluster.k();
+  KMM_CHECK(mst.mst_by_machine.size() == k);
+  const std::uint64_t label_bits =
+      bits_for(std::max<std::uint64_t>(dg.num_vertices(), 2));
+
+  for (MachineId i = 0; i < k; ++i) {
+    for (const auto& e : mst.mst_by_machine[i]) {
+      for (const MachineId home : {dg.home(e.u), dg.home(e.v)}) {
+        cluster.send(i, home, kTagAnnounce, {e.u, e.v, e.w}, 2 * label_bits + 64);
+      }
+    }
+  }
+  cluster.superstep();
+
+  StrictMstOutput out;
+  out.edges_by_home.resize(k);
+  for (MachineId i = 0; i < k; ++i) {
+    for (const auto& msg : cluster.inbox(i)) {
+      if (msg.tag != kTagAnnounce) continue;
+      out.edges_by_home[i].push_back(WeightedEdge{static_cast<Vertex>(msg.payload.at(0)),
+                                                  static_cast<Vertex>(msg.payload.at(1)),
+                                                  msg.payload.at(2)});
+    }
+    auto& edges = out.edges_by_home[i];
+    std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+      return std::tuple{a.u, a.v, a.w} < std::tuple{b.u, b.v, b.w};
+    });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  out.stats = scope.snapshot();
+  return out;
+}
+
+}  // namespace kmm

@@ -1,0 +1,49 @@
+#pragma once
+// MST under the random edge partition (REP) model — Section 1.3, footnote 5.
+//
+// Θ~(n/k) is *tight* in the REP model, versus Θ~(n/k^2) under RVP. The
+// upper bound pipeline implemented here:
+//   (1) filter: each machine keeps only a minimum spanning forest of its
+//       own edge set (cycle property; ≤ n-1 edges survive per machine) —
+//       free local computation;
+//   (2) reroute: ship surviving edges to the home machines of a fresh
+//       random vertex partition — the Θ~(n/k) bottleneck, since a machine
+//       pushes up to ~n log n bits over its k-1 links;
+//   (3) solve: run the RVP MST algorithm on the filtered union graph.
+
+#include "core/boruvka.hpp"
+#include "graph/partition.hpp"
+
+namespace kmm {
+
+struct RepMstResult {
+  std::vector<WeightedEdge> mst_edges;
+  std::uint64_t filtered_edges = 0;  // edges surviving the local filter
+  RunStats reroute_stats;            // cost of stage (2) alone
+  RunStats stats;                    // total
+  BoruvkaResult rvp_result;          // stage (3) details
+};
+
+[[nodiscard]] RepMstResult rep_model_mst(Cluster& cluster, const Graph& graph,
+                                         const EdgePartition& edges, std::uint64_t seed,
+                                         const BoruvkaConfig& config = {});
+
+/// Connectivity under the REP model (Section 1.3: Θ~(n/k) is tight there).
+/// Same pipeline with a connectivity filter: each machine keeps only a
+/// spanning forest of its own edges (any discarded edge closes a local
+/// cycle, so component structure is preserved).
+struct RepConnectivityResult {
+  std::vector<Label> labels;
+  std::uint64_t num_components = 0;
+  std::uint64_t filtered_edges = 0;
+  RunStats reroute_stats;
+  RunStats stats;
+};
+
+[[nodiscard]] RepConnectivityResult rep_model_connectivity(Cluster& cluster,
+                                                           const Graph& graph,
+                                                           const EdgePartition& edges,
+                                                           std::uint64_t seed,
+                                                           const BoruvkaConfig& config = {});
+
+}  // namespace kmm

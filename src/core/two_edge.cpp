@@ -1,0 +1,121 @@
+#include "core/two_edge.hpp"
+
+#include <algorithm>
+
+#include "core/connectivity.hpp"
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+#include "util/codec.hpp"
+
+namespace kmm {
+
+namespace {
+constexpr std::uint32_t kTagAnnounceForest = 81;
+constexpr std::uint32_t kTagCertificate = 82;
+constexpr std::uint32_t kTagVerdict = 83;
+}  // namespace
+
+TwoEdgeResult two_edge_connectivity(Cluster& cluster, const DistributedGraph& dg,
+                                    const BoruvkaConfig& config) {
+  const StatsScope total(cluster);
+  TwoEdgeResult out;
+  const std::size_t n = dg.num_vertices();
+  const MachineId k = cluster.k();
+  if (n < 2) {
+    out.stats = total.snapshot();
+    return out;  // degenerate: not 2-edge-connected by convention
+  }
+  const std::uint64_t label_bits = bits_for(n);
+
+  // 1. First spanning forest.
+  const StatsScope forests(cluster);
+  BoruvkaConfig c1 = config;
+  c1.seed = split(config.seed, 0x2ec1);
+  const auto run1 = connected_components(cluster, dg, c1);
+  out.connected = run1.num_components == 1;
+  if (!out.connected) {
+    out.stats = total.snapshot();
+    return out;  // disconnected graphs are not 2-edge-connected
+  }
+  const RunStats forest1 = forests.snapshot();
+
+  // 2. Announce F1 edges to both endpoints' home machines so G \ F1 is
+  //    constructible locally.
+  const StatsScope collect(cluster);
+  for (MachineId i = 0; i < k; ++i) {
+    for (const auto& [u, v] : run1.forest_by_machine[i]) {
+      for (const MachineId home : {dg.home(u), dg.home(v)}) {
+        cluster.send(i, home, kTagAnnounceForest, {u, v}, 2 * label_bits);
+      }
+    }
+  }
+  cluster.superstep();
+  std::vector<std::pair<Vertex, Vertex>> f1;
+  for (MachineId i = 0; i < k; ++i) {
+    for (const auto& msg : cluster.inbox(i)) {
+      if (msg.tag == kTagAnnounceForest) {
+        f1.emplace_back(static_cast<Vertex>(msg.payload.at(0)),
+                        static_cast<Vertex>(msg.payload.at(1)));
+      }
+    }
+  }
+  std::sort(f1.begin(), f1.end());
+  f1.erase(std::unique(f1.begin(), f1.end()), f1.end());
+  const RunStats announce = collect.snapshot();
+
+  // 3-4. Second forest on G \ F1 (home machines strip their announced
+  //      forest edges — a purely local construction).
+  const Graph residual = dg.graph().without_edges(f1);
+  const DistributedGraph residual_dg(residual, dg.partition());
+  const StatsScope forests2(cluster);
+  BoruvkaConfig c2 = config;
+  c2.seed = split(config.seed, 0x2ec2);
+  const auto run2 = connected_components(cluster, residual_dg, c2);
+  const RunStats forest2 = forests2.snapshot();
+  out.forest_stats.rounds = forest1.rounds + forest2.rounds;
+  out.forest_stats.messages = forest1.messages + forest2.messages;
+  out.forest_stats.bits = forest1.bits + forest2.bits;
+
+  // 5. Ship the certificate H = F1 ∪ F2 to the referee (machine 0) and
+  //    decide locally: G is 2-edge-connected iff H is (Thurimella's sparse
+  //    certificate for 2-edge-connectivity).
+  const StatsScope ship(cluster);
+  for (MachineId i = 0; i < k; ++i) {
+    for (const auto& [u, v] : run1.forest_by_machine[i]) {
+      cluster.send(i, 0, kTagCertificate, {u, v}, 2 * label_bits);
+    }
+    for (const auto& [u, v] : run2.forest_by_machine[i]) {
+      cluster.send(i, 0, kTagCertificate, {u, v}, 2 * label_bits);
+    }
+  }
+  cluster.superstep();
+  std::vector<WeightedEdge> cert;
+  for (const auto& msg : cluster.inbox(0)) {
+    if (msg.tag != kTagCertificate) continue;
+    const auto u = static_cast<Vertex>(msg.payload.at(0));
+    const auto v = static_cast<Vertex>(msg.payload.at(1));
+    cert.push_back(WeightedEdge{std::min(u, v), std::max(u, v), 1});
+  }
+  std::sort(cert.begin(), cert.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::pair{a.u, a.v} < std::pair{b.u, b.v};
+  });
+  cert.erase(std::unique(cert.begin(), cert.end()), cert.end());
+  out.certificate_edges = cert.size();
+  KMM_CHECK_MSG(out.certificate_edges <= 2 * (n - 1), "certificate too large");
+
+  const Graph h(n, std::move(cert));
+  out.two_edge_connected = ref::is_two_edge_connected(h);
+  for (MachineId i = 1; i < k; ++i) {
+    cluster.send(0, i, kTagVerdict, {out.two_edge_connected ? 1ULL : 0ULL}, 1);
+  }
+  cluster.superstep();
+  const RunStats shipped = ship.snapshot();
+  out.collect_stats.rounds = announce.rounds + shipped.rounds;
+  out.collect_stats.messages = announce.messages + shipped.messages;
+  out.collect_stats.bits = announce.bits + shipped.bits;
+
+  out.stats = total.snapshot();
+  return out;
+}
+
+}  // namespace kmm

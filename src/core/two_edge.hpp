@@ -1,0 +1,36 @@
+#pragma once
+// 2-edge-connectivity — the Section 5 "higher-order connectivity" extension.
+//
+// The paper leaves the round complexity of 2-edge/vertex connectivity in
+// the k-machine model as future work. We implement the natural sparse-
+// certificate algorithm (Thurimella [42] / Nagamochi–Ibaraki), built
+// entirely from this library's primitives:
+//
+//   1. F1 := spanning forest of G          (connectivity run, O~(n/k^2))
+//   2. announce F1 to home machines        (O~(n/k) worst case)
+//   3. F2 := spanning forest of G \ F1     (local construction + run)
+//   4. ship H = F1 ∪ F2 (≤ 2(n-1) edges) to a referee       (O~(n/k))
+//   5. referee checks H for bridges locally; G is 2-edge-connected iff
+//      H is (sparse-certificate property), verdict broadcast.
+//
+// Total O~(n/k): the certificate collection dominates. Whether o(n/k) —
+// let alone O~(n/k^2) — is achievable is exactly the paper's open question.
+
+#include "core/boruvka.hpp"
+
+namespace kmm {
+
+struct TwoEdgeResult {
+  bool two_edge_connected = false;
+  bool connected = false;
+  std::size_t certificate_edges = 0;  // |F1 ∪ F2|
+  RunStats stats;                     // total
+  RunStats forest_stats;              // the two connectivity runs
+  RunStats collect_stats;             // announce + referee collection
+};
+
+[[nodiscard]] TwoEdgeResult two_edge_connectivity(Cluster& cluster,
+                                                  const DistributedGraph& dg,
+                                                  const BoruvkaConfig& config = {});
+
+}  // namespace kmm

@@ -1,0 +1,78 @@
+#pragma once
+// Graph verification problems in O~(n/k^2) rounds (Theorem 4, Section 3.3).
+//
+// All eight problems reduce to the connectivity algorithm, following the
+// reductions of Das Sarma et al. [11] and Ahn–Guha–McGregor [2] §3.3:
+//
+//   spanning connected subgraph  cc(H) == 1 over the full vertex set
+//   cut                          removing the edges raises cc
+//   s-t connectivity             equal labels
+//   edge on all paths            u,v disconnected in G \ {e}
+//   s-t cut                      s,t disconnected after removal
+//   cycle containment            m > n - cc(G)
+//   e-cycle containment          endpoints connected in G \ {e}
+//   bipartiteness                bipartite double cover has 2·cc(G) pieces
+//
+// Derived graphs (edge removals, subgraph restrictions, the double cover)
+// are constructible machine-locally — every transformation only touches
+// adjacency the home machine already has — so the construction costs no
+// communication; only the connectivity runs and O(1)-round label/count
+// exchanges are charged.
+
+#include <vector>
+
+#include "core/boruvka.hpp"
+
+namespace kmm {
+
+struct VerifyResult {
+  bool ok = false;
+  RunStats stats;
+  std::uint64_t components = 0;  // cc of the (final) derived graph
+};
+
+/// Is H (given by its edge set; must be a subgraph of G) a connected
+/// spanning subgraph of G?
+[[nodiscard]] VerifyResult verify_spanning_connected_subgraph(
+    Cluster& cluster, const DistributedGraph& dg,
+    const std::vector<std::pair<Vertex, Vertex>>& subgraph_edges,
+    const BoruvkaConfig& config = {});
+
+/// Does removing `cut_edges` disconnect (strictly increase cc of) G?
+[[nodiscard]] VerifyResult verify_cut(Cluster& cluster, const DistributedGraph& dg,
+                                      const std::vector<std::pair<Vertex, Vertex>>& cut_edges,
+                                      const BoruvkaConfig& config = {});
+
+/// Are s and t in the same connected component?
+[[nodiscard]] VerifyResult verify_st_connectivity(Cluster& cluster, const DistributedGraph& dg,
+                                                  Vertex s, Vertex t,
+                                                  const BoruvkaConfig& config = {});
+
+/// Does edge e = (x, y) lie on every path between u and v?
+[[nodiscard]] VerifyResult verify_edge_on_all_paths(Cluster& cluster,
+                                                    const DistributedGraph& dg, Vertex u,
+                                                    Vertex v, Vertex x, Vertex y,
+                                                    const BoruvkaConfig& config = {});
+
+/// Does removing `cut_edges` disconnect s from t?
+[[nodiscard]] VerifyResult verify_st_cut(Cluster& cluster, const DistributedGraph& dg,
+                                         Vertex s, Vertex t,
+                                         const std::vector<std::pair<Vertex, Vertex>>& cut_edges,
+                                         const BoruvkaConfig& config = {});
+
+/// Does G contain any cycle?
+[[nodiscard]] VerifyResult verify_cycle_containment(Cluster& cluster,
+                                                    const DistributedGraph& dg,
+                                                    const BoruvkaConfig& config = {});
+
+/// Does edge e = (x, y) lie on some cycle?
+[[nodiscard]] VerifyResult verify_e_cycle_containment(Cluster& cluster,
+                                                      const DistributedGraph& dg, Vertex x,
+                                                      Vertex y,
+                                                      const BoruvkaConfig& config = {});
+
+/// Is G bipartite? (AGM double-cover reduction.)
+[[nodiscard]] VerifyResult verify_bipartiteness(Cluster& cluster, const DistributedGraph& dg,
+                                                const BoruvkaConfig& config = {});
+
+}  // namespace kmm

@@ -1,0 +1,283 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/random.hpp"
+#include "util/union_find.hpp"
+
+namespace kmm::ref {
+
+std::vector<Vertex> component_labels(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  constexpr Vertex kUnset = std::numeric_limits<Vertex>::max();
+  std::vector<Vertex> label(n, kUnset);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (label[s] != kUnset) continue;
+    label[s] = s;  // s is the smallest id in its component (scan order)
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto& he : g.neighbors(v)) {
+        if (label[he.to] == kUnset) {
+          label[he.to] = s;
+          stack.push_back(he.to);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::size_t component_count(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const auto& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.component_count();
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || component_count(g) == 1;
+}
+
+bool same_component(const Graph& g, Vertex s, Vertex t) {
+  const auto labels = component_labels(g);
+  return labels[s] == labels[t];
+}
+
+std::vector<WeightedEdge> minimum_spanning_forest(const Graph& g) {
+  auto edges = g.edges();
+  const std::size_t n = g.num_vertices();
+  std::sort(edges.begin(), edges.end(), [n](const WeightedEdge& a, const WeightedEdge& b) {
+    // Weight first; deterministic tie-break by edge index.
+    if (a.w != b.w) return a.w < b.w;
+    return edge_index(a.u, a.v, n) < edge_index(b.u, b.v, n);
+  });
+  UnionFind uf(n);
+  std::vector<WeightedEdge> forest;
+  for (const auto& e : edges) {
+    if (uf.unite(e.u, e.v)) forest.push_back(e);
+  }
+  std::sort(forest.begin(), forest.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::pair{a.u, a.v} < std::pair{b.u, b.v};
+  });
+  return forest;
+}
+
+Weight msf_weight(const Graph& g) {
+  Weight total = 0;
+  for (const auto& e : minimum_spanning_forest(g)) total += e.w;
+  return total;
+}
+
+Weight prim_mst_weight(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::vector<bool> in_tree(n, false);
+  using Item = std::pair<Weight, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0, 0);
+  Weight total = 0;
+  std::size_t taken = 0;
+  while (!pq.empty() && taken < n) {
+    const auto [w, v] = pq.top();
+    pq.pop();
+    if (in_tree[v]) continue;
+    in_tree[v] = true;
+    total += w;
+    ++taken;
+    for (const auto& he : g.neighbors(v)) {
+      if (!in_tree[he.to]) pq.emplace(he.weight, he.to);
+    }
+  }
+  return total;
+}
+
+bool is_bipartite(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<int> color(n, -1);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto& he : g.neighbors(v)) {
+        if (color[he.to] == -1) {
+          color[he.to] = 1 - color[v];
+          stack.push_back(he.to);
+        } else if (color[he.to] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool has_cycle(const Graph& g) {
+  // An undirected graph has a cycle iff m > n - cc.
+  return g.num_edges() > g.num_vertices() - component_count(g);
+}
+
+bool edge_on_cycle(const Graph& g, Vertex u, Vertex v) {
+  KMM_CHECK_MSG(g.has_edge(u, v), "edge_on_cycle: edge not present");
+  const Graph cut = g.without_edges({{u, v}});
+  return same_component(cut, u, v);
+}
+
+std::uint64_t stoer_wagner_min_cut(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2 || !is_connected(g)) return 0;
+
+  // Dense adjacency of merged super-vertices.
+  std::vector<std::vector<std::uint64_t>> w(n, std::vector<std::uint64_t>(n, 0));
+  for (const auto& e : g.edges()) {
+    w[e.u][e.v] += e.w;
+    w[e.v][e.u] += e.w;
+  }
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  while (active.size() > 1) {
+    // Maximum-adjacency order over the active super-vertices.
+    std::vector<std::uint64_t> conn(active.size(), 0);
+    std::vector<bool> added(active.size(), false);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == active.size() || conn[i] > conn[pick])) pick = i;
+      }
+      added[pick] = true;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) conn[i] += w[active[pick]][active[i]];
+      }
+    }
+    best = std::min(best, conn[last]);
+    // Merge `last` into `prev`.
+    const std::size_t a = active[prev], b = active[last];
+    for (std::size_t i = 0; i < n; ++i) {
+      w[a][i] += w[b][i];
+      w[i][a] += w[i][b];
+    }
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return best;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex s) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::size_t> dist(n, std::numeric_limits<std::size_t>::max());
+  std::queue<Vertex> q;
+  dist[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const auto& he : g.neighbors(v)) {
+      if (dist[he.to] == std::numeric_limits<std::size_t>::max()) {
+        dist[he.to] = dist[v] + 1;
+        q.push(he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t diameter_lower_bound(const Graph& g, std::size_t probes) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::size_t best = 0;
+  Rng rng(0xd1a3e7e5);
+  Vertex start = 0;
+  for (std::size_t i = 0; i < std::max<std::size_t>(probes, 1); ++i) {
+    const auto dist = bfs_distances(g, start);
+    Vertex far = start;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != std::numeric_limits<std::size_t>::max() && dist[v] >= dist[far]) far = v;
+    }
+    if (dist[far] != std::numeric_limits<std::size_t>::max()) best = std::max(best, dist[far]);
+    // Next probe: alternate the farthest vertex (double sweep) and random.
+    start = (i % 2 == 0) ? far : static_cast<Vertex>(rng.next_below(n));
+  }
+  return best;
+}
+
+std::vector<std::pair<Vertex, Vertex>> bridges(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> disc(n, kNone), low(n, 0);
+  std::vector<std::pair<Vertex, Vertex>> out;
+  std::size_t timer = 0;
+
+  // Iterative DFS with an explicit stack of (vertex, parent, edge cursor).
+  struct Frame {
+    Vertex v;
+    Vertex parent;
+    bool skipped_parent_edge;  // handle one parallel-free parent edge
+    std::size_t cursor;
+  };
+  std::vector<Frame> stack;
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kNone) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, root, false, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto nbrs = g.neighbors(f.v);
+      if (f.cursor < nbrs.size()) {
+        const Vertex to = nbrs[f.cursor++].to;
+        if (to == f.parent && !f.skipped_parent_edge) {
+          // Skip the tree edge back to the parent exactly once (the graph
+          // has no parallel edges, so one skip is correct).
+          f.skipped_parent_edge = true;
+          continue;
+        }
+        if (disc[to] == kNone) {
+          disc[to] = low[to] = timer++;
+          stack.push_back({to, f.v, false, 0});
+        } else {
+          low[f.v] = std::min(low[f.v], disc[to]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& up = stack.back();
+          low[up.v] = std::min(low[up.v], low[done.v]);
+          if (low[done.v] > disc[up.v]) {
+            out.emplace_back(std::min(up.v, done.v), std::max(up.v, done.v));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  if (g.num_vertices() < 2) return false;
+  return is_connected(g) && bridges(g).empty();
+}
+
+bool is_spanning_forest(const Graph& g,
+                        const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  UnionFind uf(g.num_vertices());
+  for (auto [u, v] : edges) {
+    if (!g.has_edge(u, v)) return false;  // must be real edges
+    if (!uf.unite(u, v)) return false;    // must be acyclic
+  }
+  // Must connect exactly what g connects: same number of components.
+  return uf.component_count() == component_count(g);
+}
+
+}  // namespace kmm::ref

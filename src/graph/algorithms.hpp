@@ -1,0 +1,72 @@
+#pragma once
+// Sequential reference algorithms.
+//
+// These are the ground truth the distributed algorithms are validated
+// against in tests and benches: BFS components, Kruskal/Prim MST, exact
+// min-cut (Stoer–Wagner), bipartiteness, cycle queries, BFS distances.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kmm::ref {
+
+/// Component labels: labels[v] is the smallest vertex id in v's component
+/// (a canonical labeling, directly comparable across algorithms).
+[[nodiscard]] std::vector<Vertex> component_labels(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] std::size_t component_count(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+[[nodiscard]] bool same_component(const Graph& g, Vertex s, Vertex t);
+
+/// Kruskal. Returns the edges of a minimum spanning forest (sorted by
+/// (u, v)); ties broken by edge id so the result is deterministic.
+[[nodiscard]] std::vector<WeightedEdge> minimum_spanning_forest(const Graph& g);
+
+/// Total weight of the minimum spanning forest.
+[[nodiscard]] Weight msf_weight(const Graph& g);
+
+/// Prim from vertex 0 (for cross-checking Kruskal on connected graphs).
+[[nodiscard]] Weight prim_mst_weight(const Graph& g);
+
+/// Two-coloring if bipartite.
+[[nodiscard]] bool is_bipartite(const Graph& g);
+
+/// True iff the graph contains at least one cycle.
+[[nodiscard]] bool has_cycle(const Graph& g);
+
+/// True iff edge {u, v} (must exist) lies on some cycle, i.e. u and v stay
+/// connected after removing it.
+[[nodiscard]] bool edge_on_cycle(const Graph& g, Vertex u, Vertex v);
+
+/// Exact global min-cut value by Stoer–Wagner (unweighted edges count 1,
+/// weights are honored otherwise). Requires a connected graph with >= 2
+/// vertices; returns 0 for disconnected inputs.
+[[nodiscard]] std::uint64_t stoer_wagner_min_cut(const Graph& g);
+
+/// BFS distances from `s` (hop counts); unreachable = SIZE_MAX.
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const Graph& g, Vertex s);
+
+/// Eccentricity-based diameter estimate: max BFS distance from `probes`
+/// pseudo-random start vertices (exact when probes >= n).
+[[nodiscard]] std::size_t diameter_lower_bound(const Graph& g, std::size_t probes = 4);
+
+/// Checks that `edges` forms a spanning forest of g: acyclic, every edge in
+/// g, and connecting exactly the components of g.
+[[nodiscard]] bool is_spanning_forest(const Graph& g,
+                                      const std::vector<std::pair<Vertex, Vertex>>& edges);
+
+/// All bridges of g (edges whose removal increases the component count),
+/// canonical (u < v), sorted. Iterative Tarjan lowlink.
+[[nodiscard]] std::vector<std::pair<Vertex, Vertex>> bridges(const Graph& g);
+
+/// True iff g is connected and bridgeless (2-edge-connected); requires
+/// at least 2 vertices.
+[[nodiscard]] bool is_two_edge_connected(const Graph& g);
+
+}  // namespace kmm::ref

@@ -1,0 +1,43 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace kmm {
+
+bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
+  if (u == v || u >= n_ || v >= n_) return false;
+  return seen_.contains(edge_index(u, v, n_));
+}
+
+bool GraphBuilder::add_edge(Vertex u, Vertex v, Weight w) {
+  if (u == v || u >= n_ || v >= n_) return false;
+  if (!seen_.insert(edge_index(u, v, n_)).second) return false;
+  if (u > v) std::swap(u, v);
+  edges_.push_back(WeightedEdge{u, v, w});
+  return true;
+}
+
+Graph GraphBuilder::build() {
+  seen_.clear();
+  return Graph(n_, std::exchange(edges_, {}));
+}
+
+Graph with_unique_weights(const Graph& g) {
+  auto edges = g.edges();
+  const auto m = static_cast<Weight>(edges.size());
+  // Stable rank within equal weights follows the canonical (u, v) order that
+  // Graph maintains, so the transformation is deterministic.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i].w = edges[i].w * (m + 1) + static_cast<Weight>(i);
+  }
+  return Graph(g.num_vertices(), std::move(edges));
+}
+
+Graph with_random_weights(const Graph& g, Rng& rng, Weight limit) {
+  auto edges = g.edges();
+  for (auto& e : edges) e.w = 1 + rng.next_below(limit);
+  return Graph(g.num_vertices(), std::move(edges));
+}
+
+}  // namespace kmm

@@ -1,0 +1,42 @@
+#pragma once
+// Incremental edge-list builder with de-duplication, plus weight utilities.
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n) : n_(n) {}
+
+  /// Adds the undirected edge {u, v}; duplicates and self-loops are ignored.
+  /// Returns true if the edge was newly added.
+  bool add_edge(Vertex u, Vertex v, Weight w = 1);
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Finalizes into a CSR graph; the builder is left empty.
+  [[nodiscard]] Graph build();
+
+ private:
+  std::size_t n_;
+  std::vector<WeightedEdge> edges_;
+  std::unordered_set<EdgeIndex> seen_;  // O(1) duplicate detection
+};
+
+/// Returns a copy of `g` whose edge weights are distinct: each weight becomes
+/// `w * (m+1) + rank(edge)`, preserving the original weight order and making
+/// MSTs unique. Useful because the paper's MST output criterion is stated for
+/// a unique MST.
+[[nodiscard]] Graph with_unique_weights(const Graph& g);
+
+/// Returns a copy of `g` with fresh uniformly random weights in [1, limit].
+[[nodiscard]] Graph with_random_weights(const Graph& g, Rng& rng, Weight limit = 1'000'000);
+
+}  // namespace kmm

@@ -1,0 +1,299 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+
+namespace kmm::gen {
+
+Graph gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::uint64_t max_m = n * (n - 1) / 2;
+  KMM_CHECK_MSG(m <= max_m, "G(n,m): too many edges requested");
+  GraphBuilder b(n);
+  while (b.num_edges() < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  KMM_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0) return b.build();
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping over the C(n,2) potential edges.
+  const double logq = std::log1p(-p);
+  std::uint64_t idx = 0;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  while (true) {
+    const double r = rng.next_double();
+    const auto skip = static_cast<std::uint64_t>(std::floor(std::log1p(-r) / logq));
+    idx += skip;
+    if (idx >= total) break;
+    // Decode linear index into (u, v), u < v.
+    // Row u starts at offset u*n - u*(u+3)/2 ... use incremental decode.
+    std::uint64_t u = 0, row = n - 1;
+    std::uint64_t rem = idx;
+    while (rem >= row) {
+      rem -= row;
+      ++u;
+      --row;
+    }
+    const std::uint64_t v = u + 1 + rem;
+    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    ++idx;
+  }
+  return b.build();
+}
+
+Graph connected_gnm(std::size_t n, std::size_t m, Rng& rng) {
+  KMM_CHECK_MSG(n == 0 || m + 1 >= n, "connected_gnm: m must be at least n-1");
+  GraphBuilder b(n);
+  // Random attachment tree guarantees connectivity.
+  for (std::size_t v = 1; v < n; ++v) {
+    const auto u = static_cast<Vertex>(rng.next_below(v));
+    b.add_edge(u, static_cast<Vertex>(v));
+  }
+  while (b.num_edges() < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph path(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<Vertex>(v - 1), static_cast<Vertex>(v));
+  }
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  KMM_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<Vertex>(v - 1), static_cast<Vertex>(v));
+  }
+  b.add_edge(static_cast<Vertex>(n - 1), 0);
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) b.add_edge(0, static_cast<Vertex>(v));
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  return b.build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<Vertex>((v - 1) / 2), static_cast<Vertex>(v));
+  }
+  return b.build();
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<Vertex>(rng.next_below(v)), static_cast<Vertex>(v));
+  }
+  return b.build();
+}
+
+Graph disjoint_union(const std::vector<Graph>& parts) {
+  std::size_t n = 0;
+  for (const auto& g : parts) n += g.num_vertices();
+  std::vector<WeightedEdge> edges;
+  Vertex offset = 0;
+  for (const auto& g : parts) {
+    for (const auto& e : g.edges()) {
+      edges.push_back(WeightedEdge{e.u + offset, e.v + offset, e.w});
+    }
+    offset += static_cast<Vertex>(g.num_vertices());
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph multi_component(std::size_t n, std::size_t m, std::size_t c, Rng& rng) {
+  KMM_CHECK(c >= 1 && n >= c);
+  std::vector<Graph> parts;
+  parts.reserve(c);
+  const std::size_t per_n = n / c;
+  const std::size_t per_m = m / c;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    const std::size_t ni = (i + 1 == c) ? n - used : per_n;
+    const std::size_t cap = ni * (ni - 1) / 2;
+    const std::size_t mi = std::min(std::max(per_m, ni > 0 ? ni - 1 : 0), cap);
+    parts.push_back(ni <= 1 ? Graph(ni, {}) : connected_gnm(ni, mi, rng));
+    used += ni;
+  }
+  return disjoint_union(parts);
+}
+
+Graph planted_communities(std::size_t n, std::size_t c, double p_in, std::size_t bridges,
+                          Rng& rng) {
+  KMM_CHECK(c >= 1 && n >= c);
+  const std::size_t per = n / c;
+  GraphBuilder b(n);
+  for (std::size_t blk = 0; blk < c; ++blk) {
+    const std::size_t lo = blk * per;
+    const std::size_t hi = (blk + 1 == c) ? n : lo + per;
+    // Connected core (path) + random internal edges at density p_in.
+    for (std::size_t v = lo + 1; v < hi; ++v) {
+      b.add_edge(static_cast<Vertex>(v - 1), static_cast<Vertex>(v));
+    }
+    const std::size_t span = hi - lo;
+    const auto internal =
+        static_cast<std::size_t>(p_in * static_cast<double>(span * (span - 1) / 2));
+    for (std::size_t t = 0; t < internal; ++t) {
+      const auto u = static_cast<Vertex>(lo + rng.next_below(span));
+      const auto v = static_cast<Vertex>(lo + rng.next_below(span));
+      b.add_edge(u, v);
+    }
+  }
+  std::size_t added = 0;
+  while (added < bridges) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (u / per != v / per && b.add_edge(u, v)) ++added;
+  }
+  return b.build();
+}
+
+Graph bipartite(std::size_t n_left, std::size_t n_right, std::size_t m, Rng& rng) {
+  const std::size_t n = n_left + n_right;
+  KMM_CHECK(n_left >= 1 && n_right >= 1);
+  GraphBuilder b(n);
+  // Spanning "zig-zag" to keep it connected: L0-R0-L1-R1-...
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t li = i / 2 + (i % 2);
+    const std::size_t ri = i / 2;
+    if (li < n_left && ri < n_right) {
+      b.add_edge(static_cast<Vertex>(li), static_cast<Vertex>(n_left + ri));
+    }
+  }
+  // Ensure every vertex touches the other side.
+  for (std::size_t l = 0; l < n_left; ++l) {
+    b.add_edge(static_cast<Vertex>(l), static_cast<Vertex>(n_left + rng.next_below(n_right)));
+  }
+  for (std::size_t r = 0; r < n_right; ++r) {
+    b.add_edge(static_cast<Vertex>(rng.next_below(n_left)), static_cast<Vertex>(n_left + r));
+  }
+  while (b.num_edges() < m) {
+    const auto l = static_cast<Vertex>(rng.next_below(n_left));
+    const auto r = static_cast<Vertex>(n_left + rng.next_below(n_right));
+    b.add_edge(l, r);
+    if (b.num_edges() >= n_left * n_right) break;  // bipartite-complete
+  }
+  return b.build();
+}
+
+Graph odd_cycle_spoiler(std::size_t n_left, std::size_t n_right, std::size_t m, Rng& rng) {
+  const Graph base = bipartite(n_left, n_right, m, rng);
+  KMM_CHECK_MSG(n_left >= 2, "need two left vertices for an odd cycle");
+  auto edges = base.edges();
+  // An edge inside the left class closes an odd cycle through any common
+  // right neighbor (the zig-zag guarantees one exists).
+  edges.push_back(WeightedEdge{0, 1, 1});
+  return Graph(base.num_vertices(), std::move(edges));
+}
+
+Graph dumbbell(std::size_t n, std::size_t lambda, Rng& rng) {
+  KMM_CHECK(n >= 4 && n % 2 == 0);
+  const std::size_t half = n / 2;
+  KMM_CHECK_MSG(lambda < half - 1, "dumbbell: lambda must be below the clique degree");
+  GraphBuilder b(n);
+  for (std::size_t u = 0; u < half; ++u) {
+    for (std::size_t v = u + 1; v < half; ++v) {
+      b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      b.add_edge(static_cast<Vertex>(half + u), static_cast<Vertex>(half + v));
+    }
+  }
+  std::size_t added = 0;
+  while (added < lambda) {
+    const auto u = static_cast<Vertex>(rng.next_below(half));
+    const auto v = static_cast<Vertex>(half + rng.next_below(half));
+    if (b.add_edge(u, v)) ++added;
+  }
+  return b.build();
+}
+
+Graph clique_chain(std::size_t cliques, std::size_t clique_size) {
+  KMM_CHECK(cliques >= 1 && clique_size >= 2);
+  GraphBuilder b(cliques * clique_size);
+  for (std::size_t cidx = 0; cidx < cliques; ++cidx) {
+    const std::size_t lo = cidx * clique_size;
+    for (std::size_t u = 0; u < clique_size; ++u) {
+      for (std::size_t v = u + 1; v < clique_size; ++v) {
+        b.add_edge(static_cast<Vertex>(lo + u), static_cast<Vertex>(lo + v));
+      }
+    }
+    if (cidx + 1 < cliques) {
+      b.add_edge(static_cast<Vertex>(lo + clique_size - 1),
+                 static_cast<Vertex>(lo + clique_size));
+    }
+  }
+  return b.build();
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t attach, Rng& rng) {
+  KMM_CHECK(attach >= 1 && n > attach);
+  GraphBuilder b(n);
+  // Endpoint pool: sampling a uniform element is degree-proportional.
+  std::vector<Vertex> pool;
+  pool.reserve(2 * n * attach);
+  // Seed clique on the first attach+1 vertices.
+  for (std::size_t u = 0; u <= attach; ++u) {
+    for (std::size_t v = u + 1; v <= attach; ++v) {
+      b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      pool.push_back(static_cast<Vertex>(u));
+      pool.push_back(static_cast<Vertex>(v));
+    }
+  }
+  for (std::size_t v = attach + 1; v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < attach) {
+      KMM_CHECK_MSG(++guard < 64 * attach, "preferential attachment stuck");
+      const Vertex target = pool[rng.next_below(pool.size())];
+      if (b.add_edge(static_cast<Vertex>(v), target)) {
+        pool.push_back(static_cast<Vertex>(v));
+        pool.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace kmm::gen

@@ -1,0 +1,79 @@
+#pragma once
+// Synthetic graph families used by tests, benches and examples.
+//
+// All generators are deterministic in (parameters, rng state). Weighted
+// variants assign uniformly random weights; call with_unique_weights() when
+// an algorithm needs a unique MST.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace kmm::gen {
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform edges.
+[[nodiscard]] Graph gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Erdős–Rényi G(n, p) via geometric skipping.
+[[nodiscard]] Graph gnp(std::size_t n, double p, Rng& rng);
+
+/// Uniform random connected graph: random spanning tree + (m - n + 1) extras.
+[[nodiscard]] Graph connected_gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Path 0-1-2-...-(n-1).
+[[nodiscard]] Graph path(std::size_t n);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] Graph cycle(std::size_t n);
+
+/// Star: vertex 0 joined to all others.
+[[nodiscard]] Graph star(std::size_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// rows x cols grid (4-neighborhood).
+[[nodiscard]] Graph grid(std::size_t rows, std::size_t cols);
+
+/// Complete binary tree on n vertices (heap indexing).
+[[nodiscard]] Graph binary_tree(std::size_t n);
+
+/// Uniform random spanning tree on n vertices (random attachment order).
+[[nodiscard]] Graph random_tree(std::size_t n, Rng& rng);
+
+/// Disjoint union of `parts` graphs with vertex ids offset; the result has
+/// sum(n_i) vertices and one connected component per connected part.
+[[nodiscard]] Graph disjoint_union(const std::vector<Graph>& parts);
+
+/// `c` equally-sized random connected components, each a connected G(n/c, m/c).
+[[nodiscard]] Graph multi_component(std::size_t n, std::size_t m, std::size_t c, Rng& rng);
+
+/// Planted-communities graph ("social network"): `c` dense G(n/c, p_in)
+/// blocks plus `bridges` random inter-block edges (0 bridges keeps the
+/// blocks as separate components).
+[[nodiscard]] Graph planted_communities(std::size_t n, std::size_t c, double p_in,
+                                        std::size_t bridges, Rng& rng);
+
+/// Connected bipartite graph: random tree on the bipartition classes plus
+/// extra class-crossing edges. Always 2-colorable.
+[[nodiscard]] Graph bipartite(std::size_t n_left, std::size_t n_right, std::size_t m, Rng& rng);
+
+/// Bipartite graph plus one odd cycle — non-bipartite by construction.
+[[nodiscard]] Graph odd_cycle_spoiler(std::size_t n_left, std::size_t n_right, std::size_t m,
+                                      Rng& rng);
+
+/// Two cliques of size n/2 joined by exactly `lambda` edges: the minimum cut
+/// is `lambda` (for lambda < n/2 - 1). Used by the min-cut experiments.
+[[nodiscard]] Graph dumbbell(std::size_t n, std::size_t lambda, Rng& rng);
+
+/// `cliques` cliques of size `clique_size` chained by single edges — high
+/// diameter, high-degree hubs. Flooding's worst case in the k-machine model.
+[[nodiscard]] Graph clique_chain(std::size_t cliques, std::size_t clique_size);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree. Connected,
+/// heavy-tailed degree distribution (web/social-graph shape).
+[[nodiscard]] Graph preferential_attachment(std::size_t n, std::size_t attach, Rng& rng);
+
+}  // namespace kmm::gen

@@ -1,0 +1,73 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace kmm {
+
+Graph::Graph(std::size_t n, std::vector<WeightedEdge> edges) : n_(n) {
+  // Canonicalize to u < v, sort, and validate.
+  for (auto& e : edges) {
+    KMM_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    KMM_CHECK_MSG(e.u != e.v, "self-loops are not supported");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::pair{a.u, a.v} < std::pair{b.u, b.v};
+  });
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    KMM_CHECK_MSG(edges[i - 1].u != edges[i].u || edges[i - 1].v != edges[i].v,
+                  "parallel edges are not supported");
+  }
+  edges_ = std::move(edges);
+
+  offsets_.assign(n_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+    max_weight_ = std::max(max_weight_, e.w);
+  }
+  for (std::size_t v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+
+  adj_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    adj_[cursor[e.u]++] = HalfEdge{e.v, e.w};
+    adj_[cursor[e.v]++] = HalfEdge{e.u, e.w};
+  }
+}
+
+bool Graph::has_edge(Vertex x, Vertex y) const {
+  if (x >= n_ || y >= n_ || x == y) return false;
+  // Search from the lower-degree endpoint.
+  if (degree(x) > degree(y)) std::swap(x, y);
+  for (const auto& he : neighbors(x)) {
+    if (he.to == y) return true;
+  }
+  return false;
+}
+
+bool Graph::has_unique_weights() const {
+  std::vector<Weight> ws;
+  ws.reserve(edges_.size());
+  for (const auto& e : edges_) ws.push_back(e.w);
+  std::sort(ws.begin(), ws.end());
+  return std::adjacent_find(ws.begin(), ws.end()) == ws.end();
+}
+
+Graph Graph::without_edges(const std::vector<std::pair<Vertex, Vertex>>& removed) const {
+  std::vector<EdgeIndex> gone;
+  gone.reserve(removed.size());
+  for (auto [x, y] : removed) gone.push_back(edge_index(x, y, n_));
+  std::sort(gone.begin(), gone.end());
+
+  std::vector<WeightedEdge> kept;
+  kept.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (!std::binary_search(gone.begin(), gone.end(), edge_index(e.u, e.v, n_))) {
+      kept.push_back(e);
+    }
+  }
+  return Graph(n_, std::move(kept));
+}
+
+}  // namespace kmm

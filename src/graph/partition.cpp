@@ -1,0 +1,77 @@
+#include "graph/partition.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+VertexPartition VertexPartition::random(std::size_t n, MachineId k, std::uint64_t seed) {
+  KMM_CHECK(k >= 1);
+  VertexPartition p(n, k);
+  p.hashed_ = true;
+  p.seed_ = seed;
+  return p;
+}
+
+VertexPartition VertexPartition::round_robin(std::size_t n, MachineId k) {
+  KMM_CHECK(k >= 1);
+  VertexPartition p(n, k);
+  p.table_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) p.table_[v] = static_cast<MachineId>(v % k);
+  return p;
+}
+
+VertexPartition VertexPartition::skewed(std::size_t n, MachineId k, double fraction) {
+  KMM_CHECK(k >= 1 && fraction >= 0.0 && fraction <= 1.0);
+  VertexPartition p(n, k);
+  p.table_.resize(n);
+  const auto pivot = static_cast<std::size_t>(fraction * static_cast<double>(n));
+  for (std::size_t v = 0; v < n; ++v) {
+    p.table_[v] = v < pivot ? 0 : static_cast<MachineId>(v % k);
+  }
+  return p;
+}
+
+VertexPartition VertexPartition::from_table(std::vector<MachineId> table, MachineId k) {
+  KMM_CHECK(k >= 1);
+  VertexPartition p(table.size(), k);
+  for (const MachineId m : table) KMM_CHECK_MSG(m < k, "partition table entry out of range");
+  p.table_ = std::move(table);
+  return p;
+}
+
+MachineId VertexPartition::home(Vertex v) const {
+  KMM_CHECK(v < n_);
+  if (hashed_) return static_cast<MachineId>(split(seed_, v) % k_);
+  return table_[v];
+}
+
+std::vector<Vertex> VertexPartition::hosted_by(MachineId i) const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < n_; ++v) {
+    if (home(v) == i) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> VertexPartition::loads() const {
+  std::vector<std::size_t> load(k_, 0);
+  for (Vertex v = 0; v < n_; ++v) ++load[home(v)];
+  return load;
+}
+
+EdgePartition EdgePartition::random(std::size_t /*m*/, MachineId k, std::uint64_t seed) {
+  KMM_CHECK(k >= 1);
+  return EdgePartition(k, seed);
+}
+
+MachineId EdgePartition::home(std::size_t edge_pos) const {
+  return static_cast<MachineId>(split(seed_, edge_pos) % k_);
+}
+
+std::vector<std::size_t> EdgePartition::loads(std::size_t m) const {
+  std::vector<std::size_t> load(k_, 0);
+  for (std::size_t e = 0; e < m; ++e) ++load[home(e)];
+  return load;
+}
+
+}  // namespace kmm

@@ -1,0 +1,76 @@
+#pragma once
+// Vertex- and edge-partition models of Section 1.1 / 1.3.
+//
+// * Random vertex partition (RVP): each vertex is hashed to a machine; both
+//   the simulator and the algorithms can recompute home(v) locally — exactly
+//   the "RVP via hashing" implementation the paper describes.
+// * Random edge partition (REP): each edge lands on a uniform machine
+//   (Section 1.3; used by the REP-model MST baseline).
+// * Explicit partitions (round-robin, adversarial skew) for worst-case and
+//   failure-injection tests; these carry a lookup table.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+
+using MachineId = std::uint32_t;
+
+/// Assignment of vertices to machines.
+class VertexPartition {
+ public:
+  /// RVP: home(v) = hash(seed, v) mod k. Any party knowing the seed can
+  /// evaluate home() without communication.
+  static VertexPartition random(std::size_t n, MachineId k, std::uint64_t seed);
+
+  /// Round-robin v -> v mod k (balanced, deterministic, not random).
+  static VertexPartition round_robin(std::size_t n, MachineId k);
+
+  /// Adversarial skew: the first `fraction`·n vertices all on machine 0,
+  /// remainder round-robin. For failure-injection tests.
+  static VertexPartition skewed(std::size_t n, MachineId k, double fraction);
+
+  /// Explicit assignment table (entries must be < k). Used by reductions
+  /// that derive a partition from another one, e.g. the bipartite double
+  /// cover placing (v,0) and (v,1) on home(v).
+  static VertexPartition from_table(std::vector<MachineId> table, MachineId k);
+
+  [[nodiscard]] MachineId home(Vertex v) const;
+  [[nodiscard]] MachineId machines() const noexcept { return k_; }
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Vertices hosted by machine i.
+  [[nodiscard]] std::vector<Vertex> hosted_by(MachineId i) const;
+
+  /// Per-machine vertex counts (for balance assertions).
+  [[nodiscard]] std::vector<std::size_t> loads() const;
+
+ private:
+  VertexPartition(std::size_t n, MachineId k) : n_(n), k_(k) {}
+  std::size_t n_ = 0;
+  MachineId k_ = 1;
+  bool hashed_ = false;
+  std::uint64_t seed_ = 0;
+  std::vector<MachineId> table_;  // used when !hashed_
+};
+
+/// Assignment of edges to machines (REP model). Edges are identified by
+/// their position in Graph::edges().
+class EdgePartition {
+ public:
+  static EdgePartition random(std::size_t m, MachineId k, std::uint64_t seed);
+
+  [[nodiscard]] MachineId home(std::size_t edge_pos) const;
+  [[nodiscard]] MachineId machines() const noexcept { return k_; }
+  [[nodiscard]] std::vector<std::size_t> loads(std::size_t m) const;
+
+ private:
+  EdgePartition(MachineId k, std::uint64_t seed) : k_(k), seed_(seed) {}
+  MachineId k_ = 1;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace kmm

@@ -1,0 +1,41 @@
+#pragma once
+// Umbrella header for the kmm library: distributed graph algorithms in the
+// k-machine model, reproducing Pandurangan–Robinson–Scquizzato (SPAA 2016).
+//
+// Layers (each usable on its own):
+//   util       — RNG, F_{2^61-1}, hashing, stats, codec
+//   graph      — CSR graphs, generators, sequential reference algorithms
+//   cluster    — the k-machine synchronous-round simulator and partitions
+//   sketch     — linear l0-sampling graph sketches
+//   core       — connectivity / MST / min-cut / verification + baselines
+//   lowerbound — Section 4 two-party simulation artifacts
+
+#include "cluster/cluster.hpp"
+#include "cluster/conversion.hpp"
+#include "cluster/distributed_graph.hpp"
+#include "cluster/proxy.hpp"
+#include "cluster/shared_randomness.hpp"
+#include "core/boruvka.hpp"
+#include "core/connectivity.hpp"
+#include "core/drr.hpp"
+#include "core/flooding.hpp"
+#include "core/leader_election.hpp"
+#include "core/mincut.hpp"
+#include "core/mst.hpp"
+#include "core/referee.hpp"
+#include "core/rep_mst.hpp"
+#include "core/two_edge.hpp"
+#include "core/verification.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "lowerbound/disjointness.hpp"
+#include "lowerbound/scs_instance.hpp"
+#include "lowerbound/two_party_sim.hpp"
+#include "sketch/graph_sketch.hpp"
+#include "sketch/l0_sampler.hpp"
+#include "sketch/one_sparse.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"

@@ -1,0 +1,50 @@
+#include "lowerbound/disjointness.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+bool DisjointnessInstance::disjoint() const noexcept {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] && y[i]) return false;
+  }
+  return true;
+}
+
+DisjointnessInstance DisjointnessInstance::random(std::size_t b, double density, Rng& rng) {
+  KMM_CHECK(b >= 1);
+  DisjointnessInstance inst;
+  inst.x.resize(b);
+  inst.y.resize(b);
+  inst.x_seen_by_bob.resize(b);
+  inst.y_seen_by_alice.resize(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    inst.x[i] = rng.next_bool(density) ? 1 : 0;
+    inst.y[i] = rng.next_bool(density) ? 1 : 0;
+    inst.x_seen_by_bob[i] = rng.next_bool(0.5) ? 1 : 0;
+    inst.y_seen_by_alice[i] = rng.next_bool(0.5) ? 1 : 0;
+  }
+  return inst;
+}
+
+DisjointnessInstance DisjointnessInstance::random_disjoint(std::size_t b, double density,
+                                                           Rng& rng) {
+  DisjointnessInstance inst = random(b, density, rng);
+  for (std::size_t i = 0; i < b; ++i) {
+    if (inst.x[i] && inst.y[i]) inst.y[i] = 0;
+  }
+  KMM_CHECK(inst.disjoint());
+  return inst;
+}
+
+DisjointnessInstance DisjointnessInstance::random_intersecting(std::size_t b, double density,
+                                                               Rng& rng) {
+  DisjointnessInstance inst = random(b, density, rng);
+  const auto hit = static_cast<std::size_t>(rng.next_below(b));
+  inst.x[hit] = 1;
+  inst.y[hit] = 1;
+  KMM_CHECK(!inst.disjoint());
+  return inst;
+}
+
+}  // namespace kmm

@@ -1,0 +1,33 @@
+#pragma once
+// Set disjointness in the *random input partition* model of 2-party
+// communication complexity (Section 4, Lemma 8, following [22] Lemma 3.2).
+//
+// Alice holds X ∈ {0,1}^b and Bob holds Y ∈ {0,1}^b; additionally each bit
+// of the other player's vector is revealed with probability 1/2. DISJ = 1
+// iff no index i has X[i] = Y[i] = 1. Lemma 8: any protocol with error
+// below a fixed constant needs Ω(b) bits even with the random reveals.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace kmm {
+
+struct DisjointnessInstance {
+  std::vector<std::uint8_t> x, y;             // the input vectors
+  std::vector<std::uint8_t> x_seen_by_bob;    // random-partition reveals
+  std::vector<std::uint8_t> y_seen_by_alice;
+
+  [[nodiscard]] std::size_t b() const noexcept { return x.size(); }
+  [[nodiscard]] bool disjoint() const noexcept;
+
+  /// Random instance: each bit is 1 with probability `density`. With
+  /// `force_disjoint`, intersecting indices are cleared on Y afterwards;
+  /// with `force_intersecting`, one uniformly chosen index is set in both.
+  static DisjointnessInstance random(std::size_t b, double density, Rng& rng);
+  static DisjointnessInstance random_disjoint(std::size_t b, double density, Rng& rng);
+  static DisjointnessInstance random_intersecting(std::size_t b, double density, Rng& rng);
+};
+
+}  // namespace kmm

@@ -1,0 +1,30 @@
+#include "lowerbound/scs_instance.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+ScsInstance ScsInstance::build(const DisjointnessInstance& inst) {
+  ScsInstance out;
+  out.b = inst.b();
+  const std::size_t n = 2 * out.b + 2;
+  std::vector<WeightedEdge> edges;
+  edges.reserve(3 * out.b + 1);
+
+  edges.push_back(WeightedEdge{out.s, out.t, 1});
+  out.h_edges.emplace_back(out.s, out.t);
+  for (std::size_t i = 0; i < out.b; ++i) {
+    const Vertex ui = out.u(i);
+    const Vertex vi = out.v(i);
+    edges.push_back(WeightedEdge{ui, vi, 1});
+    out.h_edges.emplace_back(ui, vi);
+    edges.push_back(WeightedEdge{out.s, ui, 1});
+    if (inst.x[i] == 0) out.h_edges.emplace_back(out.s, ui);
+    edges.push_back(WeightedEdge{vi, out.t, 1});
+    if (inst.y[i] == 0) out.h_edges.emplace_back(vi, out.t);
+  }
+  out.g = Graph(n, std::move(edges));
+  return out;
+}
+
+}  // namespace kmm

@@ -1,0 +1,33 @@
+#pragma once
+// The Figure 1 graph family: spanning-connected-subgraph instances encoding
+// set disjointness (Theorem 5's reduction).
+//
+// G has vertices s, t, u_1..u_b, v_1..v_b (n = 2b + 2) and edges
+//   (s,t), (u_i,v_i), (s,u_i), (v_i,t)   for 1 <= i <= b.
+// The candidate subgraph H keeps all (u_i, v_i) rungs and (s, t), plus
+//   (s,u_i)  iff X[i] = 0     and     (v_i,t)  iff Y[i] = 0.
+// H spans G and is connected iff X and Y are disjoint: an intersecting
+// index i strands the rung {u_i, v_i} from both sides. G has diameter 2,
+// matching the paper's remark that the bound holds even at diameter 2.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lowerbound/disjointness.hpp"
+
+namespace kmm {
+
+struct ScsInstance {
+  Graph g;
+  std::vector<std::pair<Vertex, Vertex>> h_edges;
+  Vertex s = 0, t = 1;
+  std::size_t b = 0;
+
+  /// Vertex ids: s = 0, t = 1, u_i = 2 + i, v_i = 2 + b + i.
+  [[nodiscard]] Vertex u(std::size_t i) const { return static_cast<Vertex>(2 + i); }
+  [[nodiscard]] Vertex v(std::size_t i) const { return static_cast<Vertex>(2 + b + i); }
+
+  static ScsInstance build(const DisjointnessInstance& inst);
+};
+
+}  // namespace kmm

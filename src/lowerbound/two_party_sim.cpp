@@ -1,0 +1,51 @@
+#include "lowerbound/two_party_sim.hpp"
+
+#include "cluster/distributed_graph.hpp"
+#include "core/verification.hpp"
+#include "util/assert.hpp"
+
+namespace kmm {
+
+TwoPartyResult simulate_scs_two_party(const DisjointnessInstance& inst, MachineId k,
+                                      std::uint64_t seed, const BoruvkaConfig& config) {
+  KMM_CHECK_MSG(k >= 2 && k % 2 == 0, "two-party simulation needs an even k >= 2");
+  const ScsInstance scs = ScsInstance::build(inst);
+  const std::size_t n = scs.g.num_vertices();
+  const MachineId half = k / 2;
+
+  Rng rng(split(seed, 0xa11ceb0bULL));
+  auto alice_machine = [&] { return static_cast<MachineId>(rng.next_below(half)); };
+  auto bob_machine = [&] { return static_cast<MachineId>(half + rng.next_below(half)); };
+
+  // Vertex placement per the reduction (random *within* each side).
+  std::vector<MachineId> table(n);
+  table[scs.t] = alice_machine();  // Alice hosts t
+  table[scs.s] = bob_machine();    // Bob hosts s
+  for (std::size_t i = 0; i < scs.b; ++i) {
+    // Alice received X[i] iff Bob did NOT see it revealed; the reduction
+    // only needs "the holder of the bit hosts the vertex".
+    table[scs.u(i)] = inst.x_seen_by_bob[i] ? bob_machine() : alice_machine();
+    table[scs.v(i)] = inst.y_seen_by_alice[i] ? alice_machine() : bob_machine();
+  }
+
+  Cluster cluster(ClusterConfig::for_graph(n, k));
+  std::vector<std::uint8_t> side(k, 0);
+  for (MachineId i = half; i < k; ++i) side[i] = 1;
+  cluster.track_cut(std::move(side));
+
+  const DistributedGraph dg(scs.g, VertexPartition::from_table(std::move(table), k));
+  BoruvkaConfig cfg = config;
+  cfg.seed = split(seed, 0x5c5);
+  const auto verdict = verify_spanning_connected_subgraph(cluster, dg, scs.h_edges, cfg);
+
+  TwoPartyResult out;
+  out.verdict = verdict.ok;
+  out.expected = inst.disjoint();
+  out.cut_bits = cluster.stats().cut_bits;
+  out.total_bits = cluster.stats().total_bits;
+  out.rounds = cluster.stats().rounds;
+  out.b = inst.b();
+  return out;
+}
+
+}  // namespace kmm

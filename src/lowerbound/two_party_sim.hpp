@@ -1,0 +1,32 @@
+#pragma once
+// Two-party simulation of a k-machine protocol (Theorem 5).
+//
+// Machines are split between Alice (M_A = machines 0..k/2-1) and Bob
+// (M_B = k/2..k-1). Vertices are placed following the reduction: u_i lands
+// on Alice's side iff Alice received X[i] under the random input partition
+// (likewise v_i with Bob/Y); t on a random Alice machine, s on a random
+// Bob machine. Running the SCS verifier then measures, via the cluster's
+// cut ledger, exactly the bits Alice and Bob would exchange — the quantity
+// Lemma 8 lower-bounds by Ω(b).
+
+#include <cstdint>
+
+#include "core/boruvka.hpp"
+#include "lowerbound/scs_instance.hpp"
+
+namespace kmm {
+
+struct TwoPartyResult {
+  bool verdict = false;        // protocol's SCS answer
+  bool expected = false;       // ground truth (X, Y disjoint)
+  std::uint64_t cut_bits = 0;  // bits crossing the Alice/Bob boundary
+  std::uint64_t total_bits = 0;
+  std::uint64_t rounds = 0;
+  std::size_t b = 0;
+};
+
+[[nodiscard]] TwoPartyResult simulate_scs_two_party(const DisjointnessInstance& inst,
+                                                    MachineId k, std::uint64_t seed,
+                                                    const BoruvkaConfig& config = {});
+
+}  // namespace kmm

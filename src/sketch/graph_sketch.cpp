@@ -1,0 +1,76 @@
+#include "sketch/graph_sketch.hpp"
+
+#include "util/assert.hpp"
+#include "util/prime_field.hpp"
+
+namespace kmm {
+
+GraphSketchBuilder::GraphSketchBuilder(std::size_t n, std::uint64_t seed, int copies)
+    : n_(n),
+      universe_(static_cast<std::uint64_t>(n) * n),
+      params_(L0Params::for_universe(static_cast<std::uint64_t>(n) * n, copies)),
+      seed_(seed) {
+  KMM_CHECK(n >= 2);
+  const L0Sampler probe(universe_, params_, seed_);
+  pow_low_.resize(static_cast<std::size_t>(params_.copies));
+  pow_high_.resize(static_cast<std::size_t>(params_.copies));
+  for (int c = 0; c < params_.copies; ++c) {
+    const std::uint64_t r = probe.fingerprint_base(c);
+    auto& low = pow_low_[static_cast<std::size_t>(c)];
+    auto& high = pow_high_[static_cast<std::size_t>(c)];
+    low.resize(n);
+    high.resize(n);
+    low[0] = 1;
+    for (std::size_t y = 1; y < n; ++y) low[y] = fp::mul(low[y - 1], r);
+    const std::uint64_t r_n = fp::mul(low[n - 1], r);  // r^n
+    high[0] = 1;
+    for (std::size_t x = 1; x < n; ++x) high[x] = fp::mul(high[x - 1], r_n);
+  }
+}
+
+L0Sampler GraphSketchBuilder::empty_sketch() const {
+  return L0Sampler(universe_, params_, seed_);
+}
+
+void GraphSketchBuilder::accumulate(const DistributedGraph& dg, Vertex u, Weight max_weight,
+                                    L0Sampler& sink) const {
+  std::vector<std::uint64_t> powers(static_cast<std::size_t>(params_.copies));
+  for (const auto& he : dg.neighbors(u)) {
+    if (he.weight > max_weight) continue;
+    const Vertex x = u < he.to ? u : he.to;
+    const Vertex y = u < he.to ? he.to : u;
+    const std::uint64_t index = static_cast<std::uint64_t>(x) * n_ + y;
+    const int value = u == x ? 1 : -1;
+    for (int c = 0; c < params_.copies; ++c) {
+      powers[static_cast<std::size_t>(c)] =
+          fp::mul(pow_high_[static_cast<std::size_t>(c)][x],
+                  pow_low_[static_cast<std::size_t>(c)][y]);
+    }
+    sink.update(index, value, powers.data());
+  }
+}
+
+L0Sampler GraphSketchBuilder::sketch_vertex(const DistributedGraph& dg, Vertex u,
+                                            Weight max_weight) const {
+  L0Sampler s = empty_sketch();
+  accumulate(dg, u, max_weight, s);
+  return s;
+}
+
+L0Sampler GraphSketchBuilder::sketch_part(const DistributedGraph& dg,
+                                          std::span<const Vertex> part,
+                                          Weight max_weight) const {
+  L0Sampler s = empty_sketch();
+  for (const Vertex u : part) accumulate(dg, u, max_weight, s);
+  return s;
+}
+
+std::pair<Vertex, Vertex> GraphSketchBuilder::decode(std::uint64_t index) const {
+  KMM_CHECK(index < universe_);
+  const auto x = static_cast<Vertex>(index / n_);
+  const auto y = static_cast<Vertex>(index % n_);
+  KMM_CHECK_MSG(x < y, "decoded edge index is not canonical");
+  return {x, y};
+}
+
+}  // namespace kmm

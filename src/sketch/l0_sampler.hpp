@@ -1,0 +1,105 @@
+#pragma once
+// Multi-level l0-sampler over a universe [0, U) with values in {-1,0,+1}
+// (Section 2.3; [10],[17],[32]).
+//
+// Structure: `copies` independent repetitions; each repetition holds
+// `levels` one-sparse cells. Item i participates in levels 0..z(i) of copy
+// c, where z(i) is the number of trailing zeros of h_c(i) — i.e. level l
+// subsamples the universe at rate 2^-l. If the vector has support s, the
+// level near log2(s) is 1-sparse with constant probability, so a query
+// succeeds w.h.p. across copies and recovers a (near-)uniform support
+// element.
+//
+// Linearity: samplers built from the same (universe, params, seed) add
+// coordinate-wise; sketch(a) + sketch(b) = sketch(a+b) exactly.
+//
+// All randomness comes from `seed` — machines sharing a seed build
+// combinable sketches, which is how the k-machine algorithm ships per-part
+// sketches to proxies and sums them there.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/one_sparse.hpp"
+#include "util/codec.hpp"
+#include "util/hashing.hpp"
+
+namespace kmm {
+
+struct L0Params {
+  int levels = 16;
+  int copies = 3;
+
+  /// Levels to cover a universe of `universe` indices: log2(U) + 2 slack.
+  [[nodiscard]] static L0Params for_universe(std::uint64_t universe, int copies = 3);
+
+  [[nodiscard]] int cells() const noexcept { return levels * copies; }
+};
+
+class L0Sampler {
+ public:
+  L0Sampler(std::uint64_t universe, L0Params params, std::uint64_t seed);
+
+  /// Add `value` (±1) at `index`. O(1) expected cell updates per copy.
+  /// `r_pow_index` per copy must equal r_c^index; callers with many updates
+  /// use precomputed power tables (GraphSketchBuilder), casual callers use
+  /// the convenience overload below.
+  void update(std::uint64_t index, int value, const std::uint64_t* r_pow_index_per_copy);
+
+  /// Convenience overload computing the fingerprint powers directly
+  /// (O(log U) field mults per copy).
+  void update(std::uint64_t index, int value);
+
+  /// Linear combination; other must share (universe, params, seed).
+  void add(const L0Sampler& other);
+
+  /// Recover some nonzero index, or nullopt if the vector appears empty /
+  /// recovery failed everywhere (probability polynomially small for
+  /// nonzero vectors).
+  [[nodiscard]] std::optional<Recovered> sample() const;
+
+  /// Whole-vector zero test via the level-0 fingerprints of every copy:
+  /// exact for the zero vector; a nonzero vector passes with probability
+  /// <= (U/p)^copies. Used for algorithm termination and the MST
+  /// MWOE confirmation step.
+  [[nodiscard]] bool is_zero() const;
+
+  /// Fingerprint base of copy c (needed by power-table builders).
+  [[nodiscard]] std::uint64_t fingerprint_base(int copy) const;
+  /// Level-hash seed of copy c.
+  [[nodiscard]] std::uint64_t level_seed(int copy) const;
+  /// Level (0..levels-1) that index participates up to, in copy c.
+  [[nodiscard]] int level_of(std::uint64_t index, int copy) const;
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return universe_; }
+  [[nodiscard]] const L0Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Logical wire size of the serialized sketch.
+  [[nodiscard]] std::uint64_t wire_bits() const;
+
+  /// Serialize all cells (3 words each) into a writer.
+  void serialize(WordWriter& out) const;
+
+  /// Rebuild a sketch from `reader` given matching construction parameters.
+  static L0Sampler deserialize(std::uint64_t universe, L0Params params, std::uint64_t seed,
+                               WordReader& reader);
+
+ private:
+  [[nodiscard]] OneSparseCell& cell(int copy, int level) {
+    return cells_[static_cast<std::size_t>(copy) * static_cast<std::size_t>(params_.levels) +
+                  static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] const OneSparseCell& cell(int copy, int level) const {
+    return cells_[static_cast<std::size_t>(copy) * static_cast<std::size_t>(params_.levels) +
+                  static_cast<std::size_t>(level)];
+  }
+
+  std::uint64_t universe_;
+  L0Params params_;
+  std::uint64_t seed_;
+  std::vector<OneSparseCell> cells_;
+};
+
+}  // namespace kmm

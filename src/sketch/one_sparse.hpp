@@ -1,0 +1,62 @@
+#pragma once
+// One-sparse recovery cell — the primitive underneath l0-sampling
+// ([17] Jowhari–Saglam–Tardos; [10] Cormode–Firmani; paper Section 2.3).
+//
+// A cell summarizes a vector a ∈ {-1,0,+1}^U with three counters:
+//     s0 = Σ a_i          (plain integer)
+//     s1 = Σ a_i · i      (mod p = 2^61-1)
+//     s2 = Σ a_i · r^i    (mod p, fingerprint base r)
+// Cells are linear: add() gives the cell of the summed vectors. If a is
+// exactly 1-sparse with a_i = ±1, then s0 = ±1, i = ±s1, and the
+// fingerprint verifies s2 = s0 · r^i; any non-1-sparse vector passes the
+// verification with probability ≤ U/p (Schwartz–Zippel), which is < 2^-19
+// even for U = n^2 at n = 2^21.
+
+#include <cstdint>
+#include <optional>
+
+#include "util/prime_field.hpp"
+
+namespace kmm {
+
+struct Recovered {
+  std::uint64_t index;
+  int value;  // +1 or -1
+};
+
+class OneSparseCell {
+ public:
+  /// Add `value` (±1) at `index`; `r_pow_index` must equal r^index mod p
+  /// (callers precompute it — see GraphSketchBuilder's power tables).
+  void update(std::uint64_t index, int value, std::uint64_t r_pow_index) noexcept;
+
+  /// Linear combination with another cell over the same (U, r).
+  void add(const OneSparseCell& other) noexcept;
+
+  /// All counters zero (necessary for the zero vector; used with the
+  /// fingerprint-only is_zero test at the sampler level).
+  [[nodiscard]] bool all_zero() const noexcept { return s0_ == 0 && s1_ == 0 && s2_ == 0; }
+
+  /// If the summarized vector is exactly 1-sparse, returns its single
+  /// entry; otherwise (w.h.p.) nullopt. `r` is the fingerprint base and
+  /// `universe` bounds valid indices.
+  [[nodiscard]] std::optional<Recovered> recover(std::uint64_t r,
+                                                 std::uint64_t universe) const noexcept;
+
+  [[nodiscard]] std::int64_t s0() const noexcept { return s0_; }
+  [[nodiscard]] std::uint64_t s1() const noexcept { return s1_; }
+  [[nodiscard]] std::uint64_t s2() const noexcept { return s2_; }
+
+  /// Deserialization counterpart of the 3-word wire format.
+  static OneSparseCell from_raw(std::int64_t s0, std::uint64_t s1, std::uint64_t s2) noexcept;
+
+  /// Logical bits on the wire: two field elements + a small signed counter.
+  [[nodiscard]] static std::uint64_t wire_bits(std::uint64_t universe) noexcept;
+
+ private:
+  std::int64_t s0_ = 0;
+  std::uint64_t s1_ = 0;  // in F_p
+  std::uint64_t s2_ = 0;  // in F_p
+};
+
+}  // namespace kmm

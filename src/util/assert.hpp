@@ -1,0 +1,29 @@
+#pragma once
+// Checked assertions that stay on in release builds.
+//
+// The simulator is a measurement instrument: silently-corrupt state would
+// invalidate every reported number, so invariant checks are always active.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kmm {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "kmm: check failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace kmm
+
+#define KMM_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::kmm::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define KMM_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::kmm::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

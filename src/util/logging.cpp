@@ -1,0 +1,23 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace kmm {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace kmm

@@ -1,0 +1,19 @@
+#pragma once
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate algorithm progress.
+
+#include <cstdarg>
+
+namespace kmm {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace kmm
+
+#define KMM_LOG_INFO(...) ::kmm::logf(::kmm::LogLevel::kInfo, __VA_ARGS__)
+#define KMM_LOG_DEBUG(...) ::kmm::logf(::kmm::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,47 @@
+#pragma once
+// Arithmetic in F_p for the Mersenne prime p = 2^61 - 1.
+//
+// Used by the l0-sampler fingerprints (sketch/one_sparse.hpp) and by the
+// k-wise-independent polynomial hash family (util/hashing.hpp). A Mersenne
+// modulus admits branch-light reduction without division.
+
+#include <cstdint>
+
+namespace kmm {
+
+inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+namespace fp {
+
+/// Reduce any 64-bit value into [0, p).
+[[nodiscard]] constexpr std::uint64_t reduce(std::uint64_t x) noexcept {
+  x = (x & kMersenne61) + (x >> 61);
+  if (x >= kMersenne61) x -= kMersenne61;
+  return x;
+}
+
+[[nodiscard]] constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a + b;  // a,b < 2^61 so no overflow in 64 bits
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a >= b ? a - b : a + kMersenne61 - b;
+}
+
+[[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// a^e mod p by square-and-multiply.
+[[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) noexcept;
+
+/// Multiplicative inverse via Fermat (a != 0).
+[[nodiscard]] std::uint64_t inv(std::uint64_t a) noexcept;
+
+/// Negation mod p.
+[[nodiscard]] constexpr std::uint64_t neg(std::uint64_t a) noexcept {
+  return a == 0 ? 0 : kMersenne61 - a;
+}
+
+}  // namespace fp
+}  // namespace kmm

@@ -1,0 +1,54 @@
+#pragma once
+// Disjoint-set union with path halving + union by size.
+// Reference implementation used by sequential graph algorithms (Kruskal,
+// component counting) that the distributed algorithms are validated against.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept {
+    KMM_CHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if a merge happened (the two were in different sets).
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+  [[nodiscard]] std::size_t component_count() const noexcept { return components_; }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+  [[nodiscard]] std::uint32_t set_size(std::uint32_t x) noexcept { return size_[find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace kmm

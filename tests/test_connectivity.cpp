@@ -1,0 +1,203 @@
+// Correctness of the Section 2 connectivity algorithm against sequential
+// references, across graph families, partitions and machine counts.
+
+#include <gtest/gtest.h>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+BoruvkaResult run_conn(const Graph& g, MachineId k, std::uint64_t seed,
+                       const VertexPartition* partition = nullptr) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const VertexPartition part =
+      partition ? *partition : VertexPartition::random(g.num_vertices(), k, split(seed, 1));
+  const DistributedGraph dg(g, part);
+  BoruvkaConfig cfg;
+  cfg.seed = split(seed, 2);
+  return connected_components(cluster, dg, cfg);
+}
+
+void expect_matches_reference(const Graph& g, const BoruvkaResult& result) {
+  ASSERT_EQ(result.labels.size(), g.num_vertices());
+  const auto expected = ref::component_labels(g);
+  const auto got = canonical_labels(result.labels);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(result.num_components, ref::component_count(g));
+  EXPECT_TRUE(result.converged);
+  // The recorded merge edges must form a spanning forest of g.
+  EXPECT_TRUE(ref::is_spanning_forest(g, result.forest_edges()));
+  EXPECT_EQ(result.forest_edges().size(), g.num_vertices() - result.num_components);
+}
+
+TEST(Connectivity, SingleEdge) {
+  const Graph g(2, {{0, 1, 1}});
+  expect_matches_reference(g, run_conn(g, 2, 42));
+}
+
+TEST(Connectivity, TwoIsolatedVertices) {
+  const Graph g(2, {});
+  const auto result = run_conn(g, 2, 42);
+  expect_matches_reference(g, result);
+  EXPECT_EQ(result.num_components, 2u);
+}
+
+TEST(Connectivity, Path) {
+  const Graph g = gen::path(64);
+  expect_matches_reference(g, run_conn(g, 4, 7));
+}
+
+TEST(Connectivity, Cycle) {
+  const Graph g = gen::cycle(65);
+  expect_matches_reference(g, run_conn(g, 4, 7));
+}
+
+TEST(Connectivity, Star) {
+  const Graph g = gen::star(80);
+  expect_matches_reference(g, run_conn(g, 8, 9));
+}
+
+TEST(Connectivity, Complete) {
+  const Graph g = gen::complete(32);
+  expect_matches_reference(g, run_conn(g, 4, 11));
+}
+
+TEST(Connectivity, Grid) {
+  const Graph g = gen::grid(12, 9);
+  expect_matches_reference(g, run_conn(g, 6, 13));
+}
+
+TEST(Connectivity, BinaryTree) {
+  const Graph g = gen::binary_tree(100);
+  expect_matches_reference(g, run_conn(g, 4, 17));
+}
+
+TEST(Connectivity, RandomGnm) {
+  Rng rng(123);
+  const Graph g = gen::gnm(200, 380, rng);
+  expect_matches_reference(g, run_conn(g, 8, 19));
+}
+
+TEST(Connectivity, MultiComponent) {
+  Rng rng(77);
+  const Graph g = gen::multi_component(180, 400, 6, rng);
+  const auto result = run_conn(g, 8, 23);
+  expect_matches_reference(g, result);
+  EXPECT_EQ(result.num_components, 6u);
+}
+
+TEST(Connectivity, ManyIsolatedVertices) {
+  // 30 isolated vertices plus a small clique.
+  std::vector<WeightedEdge> edges;
+  for (Vertex u = 30; u < 36; ++u) {
+    for (Vertex v = u + 1; v < 36; ++v) edges.push_back({u, v, 1});
+  }
+  const Graph g(36, std::move(edges));
+  const auto result = run_conn(g, 4, 29);
+  expect_matches_reference(g, result);
+  EXPECT_EQ(result.num_components, 31u);
+}
+
+TEST(Connectivity, PlantedCommunitiesBridged) {
+  Rng rng(5);
+  const Graph g = gen::planted_communities(240, 6, 0.08, 12, rng);
+  expect_matches_reference(g, run_conn(g, 8, 31));
+}
+
+TEST(Connectivity, PlantedCommunitiesDisconnected) {
+  Rng rng(6);
+  const Graph g = gen::planted_communities(240, 6, 0.08, 0, rng);
+  const auto result = run_conn(g, 8, 37);
+  expect_matches_reference(g, result);
+  EXPECT_EQ(result.num_components, 6u);
+}
+
+TEST(Connectivity, RoundRobinPartition) {
+  Rng rng(40);
+  const Graph g = gen::connected_gnm(150, 300, rng);
+  const auto part = VertexPartition::round_robin(g.num_vertices(), 5);
+  expect_matches_reference(g, run_conn(g, 5, 41, &part));
+}
+
+TEST(Connectivity, SkewedPartitionStillCorrect) {
+  Rng rng(43);
+  const Graph g = gen::connected_gnm(150, 300, rng);
+  const auto part = VertexPartition::skewed(g.num_vertices(), 5, 0.6);
+  expect_matches_reference(g, run_conn(g, 5, 47, &part));
+}
+
+TEST(Connectivity, DeterministicGivenSeed) {
+  Rng rng(50);
+  const Graph g = gen::gnm(120, 240, rng);
+  const auto a = run_conn(g, 8, 53);
+  const auto b = run_conn(g, 8, 53);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.bits, b.stats.bits);
+  EXPECT_EQ(a.forest_edges(), b.forest_edges());
+}
+
+TEST(Connectivity, DifferentSeedsSameComponents) {
+  Rng rng(60);
+  const Graph g = gen::gnm(120, 240, rng);
+  const auto a = run_conn(g, 8, 61);
+  const auto b = run_conn(g, 8, 67);
+  EXPECT_EQ(canonical_labels(a.labels), canonical_labels(b.labels));
+}
+
+TEST(Connectivity, LargeK) {
+  Rng rng(70);
+  const Graph g = gen::connected_gnm(300, 700, rng);
+  expect_matches_reference(g, run_conn(g, 32, 71));
+}
+
+TEST(Connectivity, KEqualsTwo) {
+  Rng rng(80);
+  const Graph g = gen::connected_gnm(100, 220, rng);
+  expect_matches_reference(g, run_conn(g, 2, 83));
+}
+
+TEST(Connectivity, TrivialSizes) {
+  Cluster cluster(ClusterConfig::for_graph(1, 2));
+  const Graph g1(1, {});
+  const DistributedGraph dg(g1, VertexPartition::random(1, 2, 9));
+  const auto res = connected_components(cluster, dg);
+  EXPECT_EQ(res.num_components, 1u);
+  EXPECT_TRUE(res.converged);
+
+  const Graph g0(0, {});
+  const DistributedGraph dg0(g0, VertexPartition::random(0, 2, 9));
+  const auto res0 = connected_components(cluster, dg0);
+  EXPECT_EQ(res0.num_components, 0u);
+}
+
+TEST(Connectivity, PhaseTraceMonotone) {
+  Rng rng(90);
+  const Graph g = gen::connected_gnm(256, 512, rng);
+  const auto result = run_conn(g, 8, 97);
+  ASSERT_FALSE(result.phases.empty());
+  for (std::size_t i = 0; i < result.phases.size(); ++i) {
+    EXPECT_LE(result.phases[i].components_after, result.phases[i].components_before);
+    if (i > 0) {
+      EXPECT_EQ(result.phases[i].components_before, result.phases[i - 1].components_after);
+    }
+  }
+  // Lemma 7: the phase budget is 12 log n; runs should finish well within.
+  EXPECT_LE(result.phases.size(), 12 * bits_for(g.num_vertices()));
+}
+
+TEST(Connectivity, RoundsArePositiveAndCharged) {
+  Rng rng(100);
+  const Graph g = gen::connected_gnm(128, 256, rng);
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), 8));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), 8, 3));
+  const auto res = connected_components(cluster, dg);
+  EXPECT_GT(res.stats.rounds, 0u);
+  EXPECT_EQ(res.stats.rounds, cluster.stats().rounds);
+  EXPECT_GT(res.stats.messages, 0u);
+  EXPECT_GT(res.stats.bits, 0u);
+}
+
+}  // namespace
+}  // namespace kmm

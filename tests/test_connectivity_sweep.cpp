@@ -1,0 +1,100 @@
+// Parameterized property sweep: the connectivity algorithm must agree with
+// the sequential reference across a grid of (n, density, k, seed).
+
+#include <gtest/gtest.h>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+struct SweepCase {
+  std::size_t n;
+  double density;  // m = density * n
+  MachineId k;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+    return os << "n" << c.n << "_d" << static_cast<int>(c.density * 10) << "_k" << c.k
+              << "_s" << c.seed;
+  }
+};
+
+class ConnectivitySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ConnectivitySweep, MatchesReference) {
+  const auto& c = GetParam();
+  Rng rng(split(c.seed, c.n));
+  const auto m = static_cast<std::size_t>(c.density * static_cast<double>(c.n));
+  const Graph g = gen::gnm(c.n, std::min(m, c.n * (c.n - 1) / 2), rng);
+
+  Cluster cluster(ClusterConfig::for_graph(c.n, c.k));
+  const DistributedGraph dg(g, VertexPartition::random(c.n, c.k, split(c.seed, 1)));
+  BoruvkaConfig cfg;
+  cfg.seed = split(c.seed, 2);
+  const auto result = connected_components(cluster, dg, cfg);
+
+  EXPECT_EQ(canonical_labels(result.labels), ref::component_labels(g));
+  EXPECT_EQ(result.num_components, ref::component_count(g));
+  EXPECT_TRUE(ref::is_spanning_forest(g, result.forest_edges()));
+  EXPECT_TRUE(result.converged);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const std::size_t n : {8, 32, 96, 192}) {
+    for (const double density : {0.6, 1.0, 2.5}) {
+      for (const MachineId k : {MachineId{2}, MachineId{4}, MachineId{8}}) {
+        for (const std::uint64_t seed : {11ULL, 22ULL}) {
+          cases.push_back(SweepCase{n, density, k, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConnectivitySweep, ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+// A second sweep over structured families where sketch cancellation and the
+// DRR merge see very different component-graph shapes.
+class FamilySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilySweep, StructuredFamiliesMatchReference) {
+  const int family = GetParam();
+  Rng rng(split(7777, family));
+  Graph g(0, {});
+  switch (family) {
+    case 0: g = gen::path(200); break;
+    case 1: g = gen::cycle(201); break;
+    case 2: g = gen::star(150); break;
+    case 3: g = gen::grid(15, 13); break;
+    case 4: g = gen::binary_tree(255); break;
+    case 5: g = gen::complete(48); break;
+    case 6: g = gen::clique_chain(10, 8); break;
+    case 7: g = gen::dumbbell(60, 3, rng); break;
+    case 8: g = gen::multi_component(200, 420, 5, rng); break;
+    case 9: g = gen::bipartite(70, 90, 400, rng); break;
+    default: FAIL();
+  }
+  for (const MachineId k : {MachineId{3}, MachineId{8}}) {
+    Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+    const DistributedGraph dg(
+        g, VertexPartition::random(g.num_vertices(), k, split(13, family)));
+    BoruvkaConfig cfg;
+    cfg.seed = split(17, family);
+    const auto result = connected_components(cluster, dg, cfg);
+    EXPECT_EQ(canonical_labels(result.labels), ref::component_labels(g));
+    EXPECT_TRUE(ref::is_spanning_forest(g, result.forest_edges()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace kmm

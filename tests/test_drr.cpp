@@ -1,0 +1,143 @@
+// Distributed random ranking: rank rule, forest structure, and the Lemma 6
+// O(log n) depth bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/drr.hpp"
+#include "util/codec.hpp"
+#include "util/stats.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(DrrRankTest, DeterministicTotalOrder) {
+  const auto a = drr_rank(7, 100);
+  const auto b = drr_rank(7, 100);
+  EXPECT_EQ(a, b);
+  const auto c = drr_rank(7, 101);
+  EXPECT_TRUE(a < c || c < a);  // distinct labels always comparable
+  EXPECT_FALSE(a < b);
+}
+
+TEST(DrrRankTest, AttachAntisymmetric) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    for (Label x = 0; x < 20; ++x) {
+      for (Label y = x + 1; y < 20; ++y) {
+        EXPECT_NE(drr_attaches(seed, x, y), drr_attaches(seed, y, x));
+      }
+    }
+  }
+}
+
+TEST(DrrForestTest, SelfTargetsAreRoots) {
+  std::vector<std::uint32_t> target{0, 1, 2, 3};
+  const auto f = DrrForest::build(target, 5);
+  EXPECT_EQ(f.roots, 4u);
+  EXPECT_EQ(f.max_depth, 0u);
+}
+
+TEST(DrrForestTest, PairAttachesExactlyOnce) {
+  // Two components pointing at each other: exactly one attaches.
+  const std::vector<std::uint32_t> target{1, 0};
+  const auto f = DrrForest::build(target, 99);
+  EXPECT_EQ(f.roots, 1u);
+  EXPECT_EQ(f.max_depth, 1u);
+}
+
+TEST(DrrForestTest, ChainDepthBounded) {
+  // Functional graph: i -> i+1 (a path). Depth must be O(log n) whp,
+  // exercised across seeds.
+  constexpr std::uint32_t n = 1024;
+  std::vector<std::uint32_t> target(n);
+  for (std::uint32_t i = 0; i < n; ++i) target[i] = std::min(i + 1, n - 1);
+  std::uint32_t worst = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto f = DrrForest::build(target, seed);
+    worst = std::max(worst, f.max_depth);
+  }
+  // Lemma 6: depth <= 6 log2(n+1) whp; expectation <= log(n+1) ≈ 6.9.
+  EXPECT_LE(worst, 6 * bits_for(n + 1));
+}
+
+TEST(DrrForestTest, RandomFunctionalGraphDepth) {
+  constexpr std::uint32_t n = 4096;
+  Rng rng(13);
+  std::uint32_t worst = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> target(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto t = static_cast<std::uint32_t>(rng.next_below(n));
+      target[i] = t == i ? (i + 1) % n : t;
+    }
+    const auto f = DrrForest::build(target, split(17, trial));
+    worst = std::max(worst, f.max_depth);
+    EXPECT_GE(f.roots, 1u);
+  }
+  EXPECT_LE(worst, 6 * bits_for(n + 1));
+}
+
+TEST(DrrForestTest, ParentsHaveHigherRank) {
+  constexpr std::uint32_t n = 256;
+  Rng rng(19);
+  std::vector<std::uint32_t> target(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto t = static_cast<std::uint32_t>(rng.next_below(n));
+    target[i] = t == i ? (i + 1) % n : t;
+  }
+  const std::uint64_t seed = 23;
+  const auto f = DrrForest::build(target, seed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (f.parent[i] != i) {
+      EXPECT_TRUE(drr_rank(seed, i) < drr_rank(seed, f.parent[i]));
+      EXPECT_EQ(f.parent[i], target[i]);  // attaches along the chosen edge
+      EXPECT_EQ(f.depth[i], f.depth[f.parent[i]] + 1);
+    } else {
+      EXPECT_EQ(f.depth[i], 0u);
+    }
+  }
+}
+
+TEST(DrrForestTest, AverageDepthNearLogN) {
+  // The appendix proof gives E[path length] <= log(n+1); check the
+  // empirical mean of max depths stays in that ballpark (not a tight test,
+  // a regression guard for the rank rule).
+  constexpr std::uint32_t n = 2048;
+  Rng rng(29);
+  std::vector<std::uint32_t> target(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto t = static_cast<std::uint32_t>(rng.next_below(n));
+    target[i] = t == i ? (i + 1) % n : t;
+  }
+  Accumulator depths;
+  for (int trial = 0; trial < 30; ++trial) {
+    depths.add(DrrForest::build(target, split(31, trial)).max_depth);
+  }
+  EXPECT_GE(depths.mean(), 2.0);   // not degenerate
+  EXPECT_LE(depths.mean(), 3.0 * std::log2(n));
+}
+
+TEST(DrrForestTest, RootsAboutHalfForMutualSelection) {
+  // When selections form a random functional graph, roughly half the
+  // components do not attach (Lemma 7's "half become roots" intuition).
+  constexpr std::uint32_t n = 8192;
+  Rng rng(37);
+  std::vector<std::uint32_t> target(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto t = static_cast<std::uint32_t>(rng.next_below(n));
+    target[i] = t == i ? (i + 1) % n : t;
+  }
+  Accumulator roots;
+  for (int trial = 0; trial < 20; ++trial) {
+    roots.add(DrrForest::build(target, split(41, trial)).roots);
+  }
+  EXPECT_NEAR(roots.mean() / n, 0.5, 0.05);
+}
+
+TEST(DrrForestDeath, OutOfRangeTarget) {
+  EXPECT_DEATH(DrrForest::build({5}, 1), "");
+}
+
+}  // namespace
+}  // namespace kmm

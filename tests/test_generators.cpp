@@ -1,0 +1,170 @@
+// Structural properties of every synthetic graph family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(Generators, GnmExactCounts) {
+  Rng rng(1);
+  const Graph g = gen::gnm(50, 120, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 120u);
+}
+
+TEST(Generators, GnmEdgeCaseFullAndEmpty) {
+  Rng rng(2);
+  EXPECT_EQ(gen::gnm(6, 15, rng).num_edges(), 15u);  // complete
+  EXPECT_EQ(gen::gnm(6, 0, rng).num_edges(), 0u);
+}
+
+TEST(Generators, GnpDensityNearExpectation) {
+  Rng rng(3);
+  const std::size_t n = 200;
+  const double p = 0.05;
+  const Graph g = gen::gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4 * std::sqrt(expected));
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(4);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, ConnectedGnmIsConnected) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gen::connected_gnm(80, 100, rng);
+    EXPECT_TRUE(ref::is_connected(g));
+    EXPECT_EQ(g.num_edges(), 100u);
+  }
+}
+
+TEST(Generators, PathCycleStarShapes) {
+  const Graph p = gen::path(10);
+  EXPECT_EQ(p.num_edges(), 9u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(5), 2u);
+  EXPECT_FALSE(ref::has_cycle(p));
+
+  const Graph c = gen::cycle(10);
+  EXPECT_EQ(c.num_edges(), 10u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 2u);
+  EXPECT_TRUE(ref::has_cycle(c));
+
+  const Graph s = gen::star(10);
+  EXPECT_EQ(s.num_edges(), 9u);
+  EXPECT_EQ(s.degree(0), 9u);
+  EXPECT_EQ(s.degree(3), 1u);
+}
+
+TEST(Generators, CompleteAndGrid) {
+  const Graph kn = gen::complete(7);
+  EXPECT_EQ(kn.num_edges(), 21u);
+  const Graph gr = gen::grid(4, 6);
+  EXPECT_EQ(gr.num_vertices(), 24u);
+  EXPECT_EQ(gr.num_edges(), 4 * 5 + 6 * 3u);
+  EXPECT_TRUE(ref::is_connected(gr));
+  EXPECT_TRUE(ref::is_bipartite(gr));
+}
+
+TEST(Generators, Trees) {
+  Rng rng(6);
+  const Graph bt = gen::binary_tree(31);
+  EXPECT_EQ(bt.num_edges(), 30u);
+  EXPECT_FALSE(ref::has_cycle(bt));
+  EXPECT_TRUE(ref::is_connected(bt));
+  const Graph rt = gen::random_tree(64, rng);
+  EXPECT_EQ(rt.num_edges(), 63u);
+  EXPECT_FALSE(ref::has_cycle(rt));
+  EXPECT_TRUE(ref::is_connected(rt));
+}
+
+TEST(Generators, DisjointUnionOffsets) {
+  const Graph a = gen::path(3);
+  const Graph b = gen::cycle(4);
+  const Graph u = gen::disjoint_union({a, b});
+  EXPECT_EQ(u.num_vertices(), 7u);
+  EXPECT_EQ(u.num_edges(), 2 + 4u);
+  EXPECT_EQ(ref::component_count(u), 2u);
+  EXPECT_TRUE(u.has_edge(3, 4));  // cycle edges shifted by 3
+}
+
+TEST(Generators, MultiComponentCount) {
+  Rng rng(7);
+  for (const std::size_t c : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    const Graph g = gen::multi_component(140, 350, c, rng);
+    EXPECT_EQ(ref::component_count(g), c);
+    EXPECT_EQ(g.num_vertices(), 140u);
+  }
+}
+
+TEST(Generators, PlantedCommunities) {
+  Rng rng(8);
+  const Graph disconnected = gen::planted_communities(120, 4, 0.1, 0, rng);
+  EXPECT_EQ(ref::component_count(disconnected), 4u);
+  const Graph bridged = gen::planted_communities(120, 4, 0.1, 8, rng);
+  EXPECT_LE(ref::component_count(bridged), 4u);
+  EXPECT_EQ(bridged.num_edges(), disconnected.num_edges() + 8 -
+                                     (disconnected.num_edges() + 8 - bridged.num_edges()));
+}
+
+TEST(Generators, BipartiteFamilies) {
+  Rng rng(9);
+  const Graph b = gen::bipartite(30, 40, 200, rng);
+  EXPECT_TRUE(ref::is_bipartite(b));
+  EXPECT_TRUE(ref::is_connected(b));
+  const Graph spoiled = gen::odd_cycle_spoiler(30, 40, 200, rng);
+  EXPECT_FALSE(ref::is_bipartite(spoiled));
+  EXPECT_TRUE(ref::is_connected(spoiled));
+}
+
+TEST(Generators, DumbbellMinCut) {
+  Rng rng(10);
+  for (const std::size_t lambda : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+    const Graph g = gen::dumbbell(20, lambda, rng);
+    EXPECT_TRUE(ref::is_connected(g));
+    EXPECT_EQ(ref::stoer_wagner_min_cut(g), lambda);
+  }
+}
+
+TEST(Generators, CliqueChainShape) {
+  const Graph g = gen::clique_chain(6, 5);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_TRUE(ref::is_connected(g));
+  // Diameter grows linearly with the number of cliques.
+  EXPECT_GE(ref::diameter_lower_bound(g), 2 * 6 - 1u);
+  EXPECT_EQ(g.num_edges(), 6 * 10 + 5u);
+}
+
+TEST(Generators, PreferentialAttachment) {
+  Rng rng(12);
+  const Graph g = gen::preferential_attachment(600, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 600u);
+  EXPECT_TRUE(ref::is_connected(g));
+  // m = seed clique + 3 per subsequent vertex.
+  EXPECT_EQ(g.num_edges(), 6 + (600 - 4) * 3u);
+  // Heavy tail: the max degree dwarfs the mean (~6).
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < 600; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GE(max_deg, 25u);
+  // Early vertices accumulate high degree (rich get richer).
+  EXPECT_GT(g.degree(0) + g.degree(1) + g.degree(2), 40u);
+}
+
+TEST(GeneratorsDeath, InvalidParameters) {
+  Rng rng(11);
+  EXPECT_DEATH(gen::gnm(4, 100, rng), "too many edges");
+  EXPECT_DEATH(gen::connected_gnm(10, 3, rng), "at least n-1");
+  EXPECT_DEATH(gen::dumbbell(10, 5, rng), "lambda");
+}
+
+}  // namespace
+}  // namespace kmm

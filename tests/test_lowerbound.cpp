@@ -1,0 +1,109 @@
+// Section 4 artifacts: disjointness instances, the Figure 1 family, and the
+// two-party simulation harness.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(Disjointness, RandomClassesBehave) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto dis = DisjointnessInstance::random_disjoint(64, 0.3, rng);
+    EXPECT_TRUE(dis.disjoint());
+    const auto hit = DisjointnessInstance::random_intersecting(64, 0.3, rng);
+    EXPECT_FALSE(hit.disjoint());
+    EXPECT_EQ(dis.b(), 64u);
+  }
+}
+
+TEST(Disjointness, RevealVectorsSized) {
+  Rng rng(2);
+  const auto inst = DisjointnessInstance::random(128, 0.5, rng);
+  EXPECT_EQ(inst.x_seen_by_bob.size(), 128u);
+  EXPECT_EQ(inst.y_seen_by_alice.size(), 128u);
+  // Roughly half the bits are revealed.
+  int revealed = 0;
+  for (const auto bit : inst.x_seen_by_bob) revealed += bit;
+  EXPECT_NEAR(revealed, 64, 25);
+}
+
+TEST(ScsInstanceTest, StructureMatchesFigure1) {
+  Rng rng(3);
+  const auto inst = DisjointnessInstance::random(16, 0.4, rng);
+  const auto scs = ScsInstance::build(inst);
+  EXPECT_EQ(scs.g.num_vertices(), 2 * 16 + 2u);
+  EXPECT_EQ(scs.g.num_edges(), 3 * 16 + 1u);
+  EXPECT_TRUE(scs.g.has_edge(scs.s, scs.t));
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(scs.g.has_edge(scs.u(i), scs.v(i)));
+    EXPECT_TRUE(scs.g.has_edge(scs.s, scs.u(i)));
+    EXPECT_TRUE(scs.g.has_edge(scs.v(i), scs.t));
+  }
+  // The paper's remark: G has diameter 2.
+  EXPECT_LE(ref::diameter_lower_bound(scs.g, 20), 3u);
+  const auto dist = ref::bfs_distances(scs.g, scs.s);
+  for (std::size_t v = 0; v < scs.g.num_vertices(); ++v) EXPECT_LE(dist[v], 2u);
+}
+
+TEST(ScsInstanceTest, HIsScsIffDisjoint) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = trial % 2 == 0 ? DisjointnessInstance::random_disjoint(40, 0.3, rng)
+                                     : DisjointnessInstance::random_intersecting(40, 0.3, rng);
+    const auto scs = ScsInstance::build(inst);
+    // Reference check: the H-subgraph is connected+spanning iff disjoint.
+    std::vector<WeightedEdge> h_edges;
+    for (auto [u, v] : scs.h_edges) {
+      h_edges.push_back(WeightedEdge{std::min(u, v), std::max(u, v), 1});
+    }
+    const Graph h(scs.g.num_vertices(), std::move(h_edges));
+    EXPECT_EQ(ref::is_connected(h), inst.disjoint()) << "trial " << trial;
+  }
+}
+
+TEST(TwoParty, VerdictMatchesGroundTruth) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto inst = trial % 2 == 0
+                          ? DisjointnessInstance::random_disjoint(24, 0.3, rng)
+                          : DisjointnessInstance::random_intersecting(24, 0.3, rng);
+    const auto result = simulate_scs_two_party(inst, 8, split(7, trial));
+    EXPECT_EQ(result.verdict, result.expected) << "trial " << trial;
+    EXPECT_EQ(result.b, 24u);
+  }
+}
+
+TEST(TwoParty, CutBitsArePositiveAndBounded) {
+  Rng rng(6);
+  const auto inst = DisjointnessInstance::random_disjoint(64, 0.3, rng);
+  const auto result = simulate_scs_two_party(inst, 8, 9);
+  EXPECT_GT(result.cut_bits, 0u);
+  EXPECT_LE(result.cut_bits, result.total_bits);
+  // Lemma 8 says Ω(b) bits must cross; our protocol's crossing traffic
+  // should comfortably exceed b (it ships Θ~(b) sketch bits).
+  EXPECT_GE(result.cut_bits, result.b);
+}
+
+TEST(TwoParty, CommunicationGrowsWithB) {
+  Rng rng(7);
+  std::uint64_t prev = 0;
+  for (const std::size_t b : {32u, 128u, 512u}) {
+    const auto inst = DisjointnessInstance::random_disjoint(b, 0.3, rng);
+    const auto result = simulate_scs_two_party(inst, 8, split(11, b));
+    EXPECT_GT(result.cut_bits, prev);
+    prev = result.cut_bits;
+  }
+}
+
+TEST(TwoPartyDeath, RequiresEvenK) {
+  Rng rng(8);
+  const auto inst = DisjointnessInstance::random(8, 0.3, rng);
+  EXPECT_DEATH((void)simulate_scs_two_party(inst, 5, 1), "even k");
+}
+
+}  // namespace
+}  // namespace kmm

@@ -1,0 +1,103 @@
+// Theorem 3: the sampling-based min-cut approximation against Stoer–Wagner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+MinCutResult run_mincut(const Graph& g, MachineId k, std::uint64_t seed) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
+  MinCutConfig cfg;
+  cfg.seed = split(seed, 2);
+  return approximate_min_cut(cluster, dg, cfg);
+}
+
+/// O(log n) approximation band, with generous constants: the estimate must
+/// land within a [λ/c·log n, c·λ·log n] window.
+void expect_within_band(const Graph& g, const MinCutResult& result, std::uint64_t lambda) {
+  ASSERT_TRUE(result.graph_connected);
+  ASSERT_GE(result.estimate, 1u);
+  const double logn = std::log2(static_cast<double>(g.num_vertices()) + 2);
+  const double ratio = static_cast<double>(result.estimate) / static_cast<double>(lambda);
+  EXPECT_GE(ratio, 1.0 / (8.0 * logn)) << "estimate " << result.estimate << " vs " << lambda;
+  EXPECT_LE(ratio, 8.0 * logn) << "estimate " << result.estimate << " vs " << lambda;
+}
+
+TEST(MinCut, DisconnectedIsZero) {
+  Rng rng(1);
+  const Graph g = gen::multi_component(60, 120, 3, rng);
+  const auto result = run_mincut(g, 4, 3);
+  EXPECT_FALSE(result.graph_connected);
+  EXPECT_EQ(result.estimate, 0u);
+}
+
+TEST(MinCut, PathHasCutOne) {
+  const Graph g = gen::path(64);
+  const auto result = run_mincut(g, 4, 5);
+  expect_within_band(g, result, 1);
+}
+
+TEST(MinCut, CycleHasCutTwo) {
+  const Graph g = gen::cycle(64);
+  const auto result = run_mincut(g, 4, 7);
+  expect_within_band(g, result, 2);
+}
+
+TEST(MinCut, DumbbellPlantedCuts) {
+  Rng rng(9);
+  for (const std::size_t lambda : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    const Graph g = gen::dumbbell(48, lambda, rng);
+    ASSERT_EQ(ref::stoer_wagner_min_cut(g), lambda);
+    const auto result = run_mincut(g, 8, split(11, lambda));
+    expect_within_band(g, result, lambda);
+  }
+}
+
+TEST(MinCut, CompleteGraphLargeCut) {
+  const Graph g = gen::complete(32);  // λ = 31
+  const auto result = run_mincut(g, 4, 13);
+  expect_within_band(g, result, 31);
+}
+
+TEST(MinCut, EstimateGrowsWithLambda) {
+  Rng rng(15);
+  const Graph thin = gen::dumbbell(64, 1, rng);
+  const Graph thick = gen::dumbbell(64, 24, rng);
+  const auto r_thin = run_mincut(thin, 8, 17);
+  const auto r_thick = run_mincut(thick, 8, 17);
+  EXPECT_LT(r_thin.estimate, r_thick.estimate);
+  EXPECT_LT(r_thin.disconnect_level, r_thick.disconnect_level)
+      << "thicker cuts must survive more aggressive sampling";
+}
+
+TEST(MinCut, LevelTraceWellFormed) {
+  Rng rng(19);
+  const Graph g = gen::dumbbell(40, 4, rng);
+  const auto result = run_mincut(g, 4, 21);
+  ASSERT_FALSE(result.levels.empty());
+  for (std::size_t i = 0; i < result.levels.size(); ++i) {
+    EXPECT_EQ(result.levels[i].level, static_cast<int>(i) + 1);
+    EXPECT_LE(result.levels[i].disconnected_trials, result.levels[i].trials);
+  }
+  // The sweep stops at the first majority-disconnected level.
+  EXPECT_EQ(result.levels.back().level, result.disconnect_level);
+  EXPECT_GT(2 * result.levels.back().disconnected_trials, result.levels.back().trials);
+}
+
+TEST(MinCut, DeterministicGivenSeed) {
+  Rng rng(23);
+  const Graph g = gen::dumbbell(40, 4, rng);
+  const auto a = run_mincut(g, 4, 25);
+  const auto b = run_mincut(g, 4, 25);
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.disconnect_level, b.disconnect_level);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+}  // namespace
+}  // namespace kmm

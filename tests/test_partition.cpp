@@ -1,0 +1,88 @@
+// Random vertex partition (RVP), explicit partitions, and the REP model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/partition.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(VertexPartitionTest, RandomIsBalancedAndDeterministic) {
+  const std::size_t n = 8000;
+  const MachineId k = 16;
+  const auto p = VertexPartition::random(n, k, 42);
+  const auto q = VertexPartition::random(n, k, 42);
+  for (Vertex v = 0; v < 100; ++v) EXPECT_EQ(p.home(v), q.home(v));
+
+  const auto loads = p.loads();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::size_t{0}), n);
+  const double expected = static_cast<double>(n) / k;
+  for (const auto load : loads) {
+    // Θ~(n/k) balance: within 30% of the mean at this n/k ratio.
+    EXPECT_NEAR(static_cast<double>(load), expected, 0.3 * expected);
+  }
+}
+
+TEST(VertexPartitionTest, DifferentSeedsDiffer) {
+  const auto p = VertexPartition::random(1000, 8, 1);
+  const auto q = VertexPartition::random(1000, 8, 2);
+  int differing = 0;
+  for (Vertex v = 0; v < 1000; ++v) differing += p.home(v) != q.home(v);
+  EXPECT_GT(differing, 500);  // ~ (1 - 1/k) fraction
+}
+
+TEST(VertexPartitionTest, HostedByPartitionsVertices) {
+  const auto p = VertexPartition::random(500, 7, 3);
+  std::size_t total = 0;
+  for (MachineId i = 0; i < 7; ++i) {
+    for (const Vertex v : p.hosted_by(i)) EXPECT_EQ(p.home(v), i);
+    total += p.hosted_by(i).size();
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(VertexPartitionTest, RoundRobinExact) {
+  const auto p = VertexPartition::round_robin(10, 3);
+  EXPECT_EQ(p.home(0), 0u);
+  EXPECT_EQ(p.home(1), 1u);
+  EXPECT_EQ(p.home(2), 2u);
+  EXPECT_EQ(p.home(3), 0u);
+  const auto loads = p.loads();
+  EXPECT_EQ(loads[0], 4u);
+  EXPECT_EQ(loads[1], 3u);
+  EXPECT_EQ(loads[2], 3u);
+}
+
+TEST(VertexPartitionTest, SkewedConcentratesOnMachineZero) {
+  const auto p = VertexPartition::skewed(100, 4, 0.5);
+  const auto loads = p.loads();
+  EXPECT_GE(loads[0], 50u);
+}
+
+TEST(VertexPartitionTest, FromTable) {
+  const auto p = VertexPartition::from_table({2, 0, 1, 2}, 3);
+  EXPECT_EQ(p.home(0), 2u);
+  EXPECT_EQ(p.home(3), 2u);
+  EXPECT_EQ(p.num_vertices(), 4u);
+}
+
+TEST(VertexPartitionDeath, TableEntryOutOfRange) {
+  EXPECT_DEATH(VertexPartition::from_table({0, 5}, 3), "out of range");
+}
+
+TEST(EdgePartitionTest, BalancedAndDeterministic) {
+  const std::size_t m = 6000;
+  const auto p = EdgePartition::random(m, 8, 5);
+  const auto q = EdgePartition::random(m, 8, 5);
+  for (std::size_t e = 0; e < 100; ++e) EXPECT_EQ(p.home(e), q.home(e));
+  const auto loads = p.loads(m);
+  const double expected = static_cast<double>(m) / 8;
+  for (const auto load : loads) {
+    EXPECT_NEAR(static_cast<double>(load), expected, 0.3 * expected);
+  }
+}
+
+}  // namespace
+}  // namespace kmm

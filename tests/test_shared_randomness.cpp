@@ -1,0 +1,65 @@
+// The Section 2.2 shared-randomness relay cost model and seed derivation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/shared_randomness.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(SharedRandomnessTest, DistributionRoundsFormula) {
+  // (k-1)*B bits become common knowledge per 2 rounds.
+  EXPECT_EQ(SharedRandomness::distribution_rounds(1, 2, 1), 2u);
+  EXPECT_EQ(SharedRandomness::distribution_rounds(10, 2, 1), 20u);
+  EXPECT_EQ(SharedRandomness::distribution_rounds(10, 11, 1), 2u);
+  EXPECT_EQ(SharedRandomness::distribution_rounds(11, 11, 1), 4u);
+  EXPECT_EQ(SharedRandomness::distribution_rounds(100, 5, 1), 2 * 25u);
+  // Bandwidth pipelines: B bits per link per round.
+  EXPECT_EQ(SharedRandomness::distribution_rounds(100, 5, 25), 2u);
+  EXPECT_EQ(SharedRandomness::distribution_rounds(101, 5, 25), 4u);
+}
+
+TEST(SharedRandomnessTest, ScalesInverselyWithKAndB) {
+  const std::uint64_t bits = 10'000'000;
+  EXPECT_GT(SharedRandomness::distribution_rounds(bits, 4, 64),
+            SharedRandomness::distribution_rounds(bits, 16, 64));
+  // Doubling k roughly halves the rounds; so does doubling B.
+  const auto r8 = SharedRandomness::distribution_rounds(bits, 8, 64);
+  const auto r16 = SharedRandomness::distribution_rounds(bits, 16, 64);
+  EXPECT_NEAR(static_cast<double>(r8) / static_cast<double>(r16), 2.0, 0.25);
+  const auto b2 = SharedRandomness::distribution_rounds(bits, 8, 128);
+  EXPECT_NEAR(static_cast<double>(r8) / static_cast<double>(b2), 2.0, 0.25);
+}
+
+TEST(SharedRandomnessTest, ChargeUpdatesLedger) {
+  Cluster cluster(ClusterConfig{.k = 5, .bandwidth_bits = 64});
+  SharedRandomness sr(77);
+  const auto rounds = sr.charge_distribution(cluster, 40 * 64);
+  EXPECT_EQ(rounds, 2 * 10u);
+  EXPECT_EQ(cluster.stats().rounds, rounds);
+  EXPECT_EQ(sr.bits_distributed(), 40u * 64);
+  sr.charge_distribution(cluster, 4);
+  EXPECT_EQ(sr.bits_distributed(), 40u * 64 + 4);
+}
+
+TEST(SharedRandomnessTest, SeedsDeterministicAndDistinct) {
+  const SharedRandomness a(1), b(1), c(2);
+  EXPECT_EQ(a.seed(3, 4, seed_purpose::kProxy), b.seed(3, 4, seed_purpose::kProxy));
+  EXPECT_NE(a.seed(3, 4, seed_purpose::kProxy), c.seed(3, 4, seed_purpose::kProxy));
+
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t phase = 0; phase < 10; ++phase) {
+    for (std::uint64_t iter = 0; iter < 10; ++iter) {
+      for (const auto purpose : {seed_purpose::kProxy, seed_purpose::kRank,
+                                 seed_purpose::kSketch, seed_purpose::kSampling}) {
+        seen.insert(a.seed(phase, iter, purpose));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 400u);  // all distinct
+}
+
+}  // namespace
+}  // namespace kmm

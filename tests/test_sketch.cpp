@@ -1,0 +1,267 @@
+// One-sparse recovery cells and the l0-sampler: recovery, linearity,
+// cancellation, serialization, failure rates.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sketch/l0_sampler.hpp"
+#include "util/prime_field.hpp"
+#include "util/random.hpp"
+
+namespace kmm {
+namespace {
+
+constexpr std::uint64_t kUniverse = 1 << 20;
+
+std::uint64_t rpow(std::uint64_t r, std::uint64_t i) { return fp::pow(r, i); }
+
+TEST(OneSparse, RecoversSingleEntry) {
+  const std::uint64_t r = 987654321;
+  for (const int value : {1, -1}) {
+    OneSparseCell cell;
+    cell.update(777, value, rpow(r, 777));
+    const auto rec = cell.recover(r, kUniverse);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->index, 777u);
+    EXPECT_EQ(rec->value, value);
+  }
+}
+
+TEST(OneSparse, RejectsTwoEntries) {
+  const std::uint64_t r = 13371337;
+  OneSparseCell cell;
+  cell.update(10, 1, rpow(r, 10));
+  cell.update(20, 1, rpow(r, 20));
+  EXPECT_FALSE(cell.recover(r, kUniverse).has_value());
+}
+
+TEST(OneSparse, RejectsCancelingPairPlusOne) {
+  // s0 == 1 but the vector has three nonzero contributions: the
+  // fingerprint must reject.
+  const std::uint64_t r = 555666777;
+  OneSparseCell cell;
+  cell.update(10, 1, rpow(r, 10));
+  cell.update(20, 1, rpow(r, 20));
+  cell.update(30, -1, rpow(r, 30));
+  EXPECT_EQ(cell.s0(), 1);
+  EXPECT_FALSE(cell.recover(r, kUniverse).has_value());
+}
+
+TEST(OneSparse, CancellationGivesZero) {
+  const std::uint64_t r = 42424242;
+  OneSparseCell cell;
+  cell.update(99, 1, rpow(r, 99));
+  cell.update(99, -1, rpow(r, 99));
+  EXPECT_TRUE(cell.all_zero());
+  EXPECT_FALSE(cell.recover(r, kUniverse).has_value());
+}
+
+TEST(OneSparse, AddIsLinear) {
+  const std::uint64_t r = 31415926;
+  OneSparseCell a, b, direct;
+  a.update(5, 1, rpow(r, 5));
+  b.update(9, -1, rpow(r, 9));
+  direct.update(5, 1, rpow(r, 5));
+  direct.update(9, -1, rpow(r, 9));
+  a.add(b);
+  EXPECT_EQ(a.s0(), direct.s0());
+  EXPECT_EQ(a.s1(), direct.s1());
+  EXPECT_EQ(a.s2(), direct.s2());
+}
+
+TEST(OneSparse, RawRoundtrip) {
+  const std::uint64_t r = 2718281828;
+  OneSparseCell cell;
+  cell.update(123, -1, rpow(r, 123));
+  const auto copy = OneSparseCell::from_raw(cell.s0(), cell.s1(), cell.s2());
+  const auto rec = copy.recover(r, kUniverse);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 123u);
+}
+
+TEST(OneSparse, WireBitsGrowWithUniverse) {
+  EXPECT_GT(OneSparseCell::wire_bits(1 << 30), OneSparseCell::wire_bits(1 << 10));
+  EXPECT_GE(OneSparseCell::wire_bits(16), 2 * 61u);
+}
+
+L0Sampler make_sampler(std::uint64_t seed) {
+  return L0Sampler(kUniverse, L0Params::for_universe(kUniverse), seed);
+}
+
+TEST(L0, EmptyIsZero) {
+  const auto s = make_sampler(1);
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_FALSE(s.sample().has_value());
+}
+
+TEST(L0, SingleItemRecoveredExactly) {
+  auto s = make_sampler(2);
+  s.update(4242, 1);
+  EXPECT_FALSE(s.is_zero());
+  const auto rec = s.sample();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 4242u);
+  EXPECT_EQ(rec->value, 1);
+}
+
+TEST(L0, SampleReturnsSupportMember) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = make_sampler(split(991, trial));
+    std::set<std::uint64_t> support;
+    const int size = 1 + static_cast<int>(rng.next_below(200));
+    while (static_cast<int>(support.size()) < size) {
+      support.insert(rng.next_below(kUniverse));
+    }
+    for (const auto idx : support) s.update(idx, 1);
+    const auto rec = s.sample();
+    ASSERT_TRUE(rec.has_value()) << "sampler failed on support size " << size;
+    EXPECT_TRUE(support.count(rec->index)) << "sampled a non-support index";
+    EXPECT_EQ(rec->value, 1);
+  }
+}
+
+TEST(L0, MixedSignsStillValid) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto s = make_sampler(split(772, trial));
+    std::map<std::uint64_t, int> entries;
+    for (int i = 0; i < 100; ++i) {
+      entries.emplace(rng.next_below(kUniverse), rng.next_bool(0.5) ? 1 : -1);
+    }
+    for (const auto& [idx, val] : entries) s.update(idx, val);
+    const auto rec = s.sample();
+    ASSERT_TRUE(rec.has_value());
+    const auto it = entries.find(rec->index);
+    ASSERT_NE(it, entries.end());
+    EXPECT_EQ(rec->value, it->second);
+  }
+}
+
+TEST(L0, LinearityExact) {
+  Rng rng(7);
+  const std::uint64_t seed = 404;
+  auto a = make_sampler(seed);
+  auto b = make_sampler(seed);
+  auto direct = make_sampler(seed);
+  for (int i = 0; i < 300; ++i) {
+    const auto idx = rng.next_below(kUniverse);
+    const int val = rng.next_bool(0.5) ? 1 : -1;
+    if (i % 2 == 0) {
+      a.update(idx, val);
+    } else {
+      b.update(idx, val);
+    }
+    direct.update(idx, val);
+  }
+  a.add(b);
+  WordWriter wa, wd;
+  a.serialize(wa);
+  direct.serialize(wd);
+  EXPECT_EQ(std::move(wa).take(), std::move(wd).take());
+}
+
+TEST(L0, CancellationToZero) {
+  Rng rng(9);
+  const std::uint64_t seed = 505;
+  auto a = make_sampler(seed);
+  auto b = make_sampler(seed);
+  std::vector<std::uint64_t> idxs;
+  for (int i = 0; i < 100; ++i) idxs.push_back(rng.next_below(kUniverse));
+  for (const auto idx : idxs) a.update(idx, 1);
+  for (const auto idx : idxs) b.update(idx, -1);
+  a.add(b);
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_FALSE(a.sample().has_value());
+}
+
+TEST(L0, PartialCancellationLeavesRest) {
+  const std::uint64_t seed = 606;
+  auto a = make_sampler(seed);
+  a.update(100, 1);
+  a.update(200, 1);
+  auto b = make_sampler(seed);
+  b.update(100, -1);
+  a.add(b);
+  const auto rec = a.sample();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 200u);
+}
+
+TEST(L0, SerializeDeserializeRoundtrip) {
+  Rng rng(11);
+  auto s = make_sampler(707);
+  for (int i = 0; i < 50; ++i) s.update(rng.next_below(kUniverse), 1);
+  WordWriter w;
+  s.serialize(w);
+  const auto words = std::move(w).take();
+  WordReader r(words);
+  const auto copy =
+      L0Sampler::deserialize(kUniverse, L0Params::for_universe(kUniverse), 707, r);
+  EXPECT_TRUE(r.done());
+  const auto s1 = s.sample();
+  const auto s2 = copy.sample();
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s1->index, s2->index);
+}
+
+TEST(L0, SuccessRateHigh) {
+  Rng rng(13);
+  int failures = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto s = make_sampler(split(808, trial));
+    const int size = 1 + static_cast<int>(rng.next_below(1000));
+    for (int i = 0; i < size; ++i) s.update(rng.next_below(kUniverse), 1);
+    if (!s.sample().has_value()) ++failures;
+  }
+  // Three independent copies: empirical failure rate stays in low percent.
+  EXPECT_LE(failures, kTrials / 20);
+}
+
+TEST(L0, SampleSpreadsOverSupport) {
+  // Across independent seeds, every element of a small support should be
+  // sampled at least once — a coarse uniformity check.
+  constexpr int kSupport = 8;
+  std::set<std::uint64_t> hit;
+  for (int seed = 0; seed < 200 && hit.size() < kSupport; ++seed) {
+    auto s = make_sampler(split(909, seed));
+    for (std::uint64_t i = 0; i < kSupport; ++i) s.update(1000 + i, 1);
+    if (const auto rec = s.sample()) hit.insert(rec->index);
+  }
+  EXPECT_EQ(hit.size(), kSupport);
+}
+
+TEST(L0, WireBitsMatchParams) {
+  const auto s = make_sampler(1);
+  const auto& params = s.params();
+  EXPECT_EQ(s.wire_bits(),
+            static_cast<std::uint64_t>(params.cells()) * OneSparseCell::wire_bits(kUniverse));
+  // O(polylog): a few hundred field elements at most for this universe.
+  EXPECT_LT(s.wire_bits(), 50'000u);
+}
+
+TEST(L0Death, MismatchedCombineRejected) {
+  auto a = make_sampler(1);
+  auto b = make_sampler(2);  // different seed
+  EXPECT_DEATH(a.add(b), "different construction");
+}
+
+TEST(L0Death, UpdateOutsideUniverse) {
+  auto a = make_sampler(1);
+  EXPECT_DEATH(a.update(kUniverse + 5, 1), "outside universe");
+}
+
+TEST(L0Params, LevelsCoverUniverse) {
+  const auto p = L0Params::for_universe(1ULL << 32);
+  EXPECT_GE(p.levels, 32);
+  const auto small = L0Params::for_universe(16);
+  EXPECT_GE(small.levels, 4);
+  EXPECT_EQ(small.cells(), small.levels * small.copies);
+}
+
+}  // namespace
+}  // namespace kmm

@@ -1,0 +1,123 @@
+// Bridges / 2-edge-connectivity: the sequential reference and the
+// sparse-certificate k-machine algorithm (Section 5 extension).
+
+#include <gtest/gtest.h>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(Bridges, KnownGraphs) {
+  // Path: every edge is a bridge.
+  EXPECT_EQ(ref::bridges(gen::path(6)).size(), 5u);
+  // Cycle: none.
+  EXPECT_TRUE(ref::bridges(gen::cycle(6)).empty());
+  // Two triangles joined by one edge: exactly that edge.
+  const Graph barbell(6, {{0, 1, 1},
+                          {1, 2, 1},
+                          {0, 2, 1},
+                          {3, 4, 1},
+                          {4, 5, 1},
+                          {3, 5, 1},
+                          {2, 3, 1}});
+  const auto b = ref::bridges(barbell);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], (std::pair<Vertex, Vertex>{2, 3}));
+  // Star: all edges.
+  EXPECT_EQ(ref::bridges(gen::star(8)).size(), 7u);
+  // Complete graph: none.
+  EXPECT_TRUE(ref::bridges(gen::complete(5)).empty());
+}
+
+TEST(Bridges, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gen::gnm(24, 30 + rng.next_below(20), rng);
+    const auto fast = ref::bridges(g);
+    // Brute force: an edge is a bridge iff removing it raises cc.
+    std::vector<std::pair<Vertex, Vertex>> slow;
+    const auto base = ref::component_count(g);
+    for (const auto& e : g.edges()) {
+      if (ref::component_count(g.without_edges({{e.u, e.v}})) > base) {
+        slow.emplace_back(e.u, e.v);
+      }
+    }
+    EXPECT_EQ(fast, slow) << "trial " << trial;
+  }
+}
+
+TEST(Bridges, TwoEdgeConnectedReference) {
+  EXPECT_TRUE(ref::is_two_edge_connected(gen::cycle(8)));
+  EXPECT_TRUE(ref::is_two_edge_connected(gen::complete(5)));
+  EXPECT_FALSE(ref::is_two_edge_connected(gen::path(8)));
+  EXPECT_FALSE(ref::is_two_edge_connected(gen::star(8)));
+  EXPECT_FALSE(ref::is_two_edge_connected(Graph(4, {{0, 1, 1}, {2, 3, 1}})));  // disconnected
+  EXPECT_FALSE(ref::is_two_edge_connected(Graph(1, {})));
+  Rng rng(2);
+  EXPECT_TRUE(ref::is_two_edge_connected(gen::dumbbell(16, 2, rng)));
+  EXPECT_FALSE(ref::is_two_edge_connected(gen::dumbbell(16, 1, rng)));
+}
+
+TwoEdgeResult run_2ec(const Graph& g, MachineId k, std::uint64_t seed) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
+  BoruvkaConfig cfg;
+  cfg.seed = split(seed, 2);
+  return two_edge_connectivity(cluster, dg, cfg);
+}
+
+TEST(TwoEdgeConnectivity, PositiveInstances) {
+  Rng rng(3);
+  EXPECT_TRUE(run_2ec(gen::cycle(64), 4, 5).two_edge_connected);
+  EXPECT_TRUE(run_2ec(gen::complete(24), 4, 7).two_edge_connected);
+  EXPECT_TRUE(run_2ec(gen::dumbbell(32, 2, rng), 8, 9).two_edge_connected);
+  // Dense random graphs are 2EC w.h.p.
+  const Graph dense = gen::connected_gnm(100, 500, rng);
+  ASSERT_TRUE(ref::is_two_edge_connected(dense));
+  EXPECT_TRUE(run_2ec(dense, 8, 11).two_edge_connected);
+}
+
+TEST(TwoEdgeConnectivity, NegativeInstances) {
+  Rng rng(4);
+  EXPECT_FALSE(run_2ec(gen::path(64), 4, 13).two_edge_connected);
+  EXPECT_FALSE(run_2ec(gen::star(64), 4, 15).two_edge_connected);
+  EXPECT_FALSE(run_2ec(gen::dumbbell(32, 1, rng), 8, 17).two_edge_connected);
+  const auto disconnected = run_2ec(gen::multi_component(80, 200, 2, rng), 4, 19);
+  EXPECT_FALSE(disconnected.two_edge_connected);
+  EXPECT_FALSE(disconnected.connected);
+  // A 2EC core with one pendant vertex.
+  Graph core = gen::cycle(30);
+  auto edges = core.edges();
+  edges.push_back(WeightedEdge{0, 30, 1});
+  EXPECT_FALSE(run_2ec(Graph(31, std::move(edges)), 4, 21).two_edge_connected);
+}
+
+TEST(TwoEdgeConnectivity, CertificateIsSparse) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnm(200, 1200, rng);
+  const auto res = run_2ec(g, 8, 23);
+  EXPECT_LE(res.certificate_edges, 2 * (g.num_vertices() - 1));
+  EXPECT_GE(res.certificate_edges, g.num_vertices() - 1);  // F1 alone spans
+  EXPECT_GT(res.forest_stats.rounds, 0u);
+  EXPECT_GT(res.collect_stats.rounds, 0u);
+}
+
+class TwoEdgeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoEdgeSweep, AgreesWithReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  // Densities straddling the 2EC threshold so both classes appear.
+  const std::size_t n = 60;
+  const std::size_t m = n + rng.next_below(2 * n);
+  const Graph g = gen::connected_gnm(n, m, rng);
+  const auto res = run_2ec(g, 4, split(seed, 3));
+  EXPECT_EQ(res.two_edge_connected, ref::is_two_edge_connected(g)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoEdgeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace kmm

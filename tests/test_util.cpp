@@ -1,0 +1,289 @@
+// Unit tests for the util layer: RNG, prime field, hashing, stats, DSU,
+// payload codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/codec.hpp"
+#include "util/hashing.hpp"
+#include "util/prime_field.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/union_find.hpp"
+
+namespace kmm {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(SplitMix, SplitSeparatesKeys) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t key = 0; key < 1000; ++key) seen.insert(split(7, key));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SplitMix, Split3DependsOnAllArgs) {
+  EXPECT_NE(split3(1, 2, 3), split3(1, 3, 2));
+  EXPECT_NE(split3(1, 2, 3), split3(2, 2, 3));
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(5), b(5), c(6);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());  // astronomically unlikely to collide
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(13);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_hit |= v == -3;
+    hi_hit |= v == 3;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(15);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    acc.add(d);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(PrimeField, ReduceIdempotent) {
+  EXPECT_EQ(fp::reduce(kMersenne61), 0u);
+  EXPECT_EQ(fp::reduce(kMersenne61 + 5), 5u);
+  EXPECT_EQ(fp::reduce(~0ULL), fp::reduce(fp::reduce(~0ULL)));
+}
+
+TEST(PrimeField, AddSubInverse) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = rng.next_below(kMersenne61);
+    const auto b = rng.next_below(kMersenne61);
+    EXPECT_EQ(fp::sub(fp::add(a, b), b), a);
+    EXPECT_EQ(fp::add(a, fp::neg(a)), 0u);
+  }
+}
+
+TEST(PrimeField, MulAssociativeDistributive) {
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = rng.next_below(kMersenne61);
+    const auto b = rng.next_below(kMersenne61);
+    const auto c = rng.next_below(kMersenne61);
+    EXPECT_EQ(fp::mul(fp::mul(a, b), c), fp::mul(a, fp::mul(b, c)));
+    EXPECT_EQ(fp::mul(a, fp::add(b, c)), fp::add(fp::mul(a, b), fp::mul(a, c)));
+  }
+}
+
+TEST(PrimeField, PowMatchesRepeatedMul) {
+  const std::uint64_t base = 123456789;
+  std::uint64_t acc = 1;
+  for (std::uint64_t e = 0; e < 32; ++e) {
+    EXPECT_EQ(fp::pow(base, e), acc);
+    acc = fp::mul(acc, base);
+  }
+}
+
+TEST(PrimeField, FermatInverse) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = 1 + rng.next_below(kMersenne61 - 1);
+    EXPECT_EQ(fp::mul(a, fp::inv(a)), 1u);
+  }
+}
+
+TEST(PolynomialHash, DeterministicAndSeeded) {
+  Rng rng1(31), rng2(31);
+  const PolynomialHash h1(4, rng1), h2(4, rng2);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+  EXPECT_EQ(h1.random_bits(), 4 * 61u);
+}
+
+TEST(PolynomialHash, PairwiseIndependenceStatistical) {
+  // For a 2-wise independent family, P[h(x) bucket == h(y) bucket] ≈ 1/B.
+  constexpr int kTrials = 4000;
+  constexpr std::uint64_t kBuckets = 16;
+  Rng rng(33);
+  int collisions = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const PolynomialHash h(2, rng);
+    if (h.bucket(12345, kBuckets) == h.bucket(67890, kBuckets)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / kTrials;
+  EXPECT_NEAR(rate, 1.0 / kBuckets, 0.03);
+}
+
+TEST(PolynomialHash, BucketBalance) {
+  Rng rng(35);
+  const PolynomialHash h(3, rng);
+  constexpr std::uint64_t kBuckets = 8;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint64_t x = 0; x < 16000; ++x) ++counts[h.bucket(x, kBuckets)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(GeometricLevel, Distribution) {
+  Rng rng(37);
+  constexpr int kSamples = 100000;
+  int at_least_one = 0, at_least_three = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const int lvl = geometric_level(rng.next(), 30);
+    if (lvl >= 1) ++at_least_one;
+    if (lvl >= 3) ++at_least_three;
+  }
+  EXPECT_NEAR(at_least_one / double(kSamples), 0.5, 0.01);
+  EXPECT_NEAR(at_least_three / double(kSamples), 0.125, 0.01);
+}
+
+TEST(GeometricLevel, ClampsAtMax) {
+  EXPECT_EQ(geometric_level(0, 7), 7);
+  EXPECT_EQ(geometric_level(1ULL << 20, 7), 7);
+  EXPECT_EQ(geometric_level(1, 7), 0);
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 4.0, 1e-9);
+  EXPECT_NEAR(acc.stddev(), 2.0, 1e-9);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndOverflow) {
+  Histogram h(10.0, 5);
+  for (double x = 0.5; x < 10; x += 1.0) h.add(x);
+  h.add(50.0);  // overflow
+  EXPECT_EQ(h.total(), 11u);
+  EXPECT_EQ(h.bucket_count(h.buckets() - 1), 1u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Stats, LogLogSlopeRecoversPowerLaws) {
+  std::vector<double> x, y2, ym1;
+  for (double v = 2; v <= 64; v *= 2) {
+    x.push_back(v);
+    y2.push_back(v * v * 3.0);
+    ym1.push_back(100.0 / v);
+  }
+  EXPECT_NEAR(loglog_slope(x, y2), 2.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, ym1), -1.0, 1e-9);
+}
+
+TEST(Stats, Correlation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-9);
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-9);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.component_count(), 6u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.same(1, 2));
+  EXPECT_FALSE(uf.same(1, 4));
+  EXPECT_EQ(uf.set_size(0), 4u);
+  EXPECT_EQ(uf.set_size(5), 1u);
+}
+
+TEST(Codec, WriterReaderRoundtrip) {
+  WordWriter w;
+  w.u64(~0ULL).u32(7).u64(42);
+  const auto words = std::move(w).take();
+  WordReader r(words);
+  EXPECT_EQ(r.u64(), ~0ULL);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(CodecDeath, Underrun) {
+  const std::vector<std::uint64_t> words{1};
+  EXPECT_DEATH(
+      {
+        WordReader r(words);
+        (void)r.u64();
+        (void)r.u64();  // underrun aborts
+      },
+      "payload underrun");
+}
+
+}  // namespace
+}  // namespace kmm

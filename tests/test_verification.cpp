@@ -1,0 +1,209 @@
+// Theorem 4: the eight verification problems, positive and negative
+// instances, plus randomized cross-validation against sequential references.
+
+#include <gtest/gtest.h>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Cluster cluster;
+  DistributedGraph dg;
+
+  Fixture(Graph graph, MachineId k, std::uint64_t seed)
+      : g(std::move(graph)),
+        cluster(ClusterConfig::for_graph(g.num_vertices(), k)),
+        dg(g, VertexPartition::random(g.num_vertices(), k, seed)) {}
+};
+
+std::vector<std::pair<Vertex, Vertex>> spanning_tree_edges(const Graph& g) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (const auto& e : ref::minimum_spanning_forest(g)) edges.emplace_back(e.u, e.v);
+  return edges;
+}
+
+TEST(VerifySCS, SpanningTreeAccepted) {
+  Rng rng(1);
+  Fixture f(gen::connected_gnm(80, 200, rng), 4, 3);
+  const auto result =
+      verify_spanning_connected_subgraph(f.cluster, f.dg, spanning_tree_edges(f.g));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.components, 1u);
+}
+
+TEST(VerifySCS, MissingBridgeRejected) {
+  Rng rng(2);
+  Fixture f(gen::connected_gnm(80, 200, rng), 4, 5);
+  auto edges = spanning_tree_edges(f.g);
+  edges.pop_back();  // drop one tree edge: no longer spanning-connected
+  const auto result = verify_spanning_connected_subgraph(f.cluster, f.dg, edges);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.components, 2u);
+}
+
+TEST(VerifySCS, FullGraphAccepted) {
+  Rng rng(3);
+  Fixture f(gen::connected_gnm(60, 150, rng), 4, 7);
+  std::vector<std::pair<Vertex, Vertex>> all;
+  for (const auto& e : f.g.edges()) all.emplace_back(e.u, e.v);
+  EXPECT_TRUE(verify_spanning_connected_subgraph(f.cluster, f.dg, all).ok);
+}
+
+TEST(VerifyCut, BridgeEdgesAreACut) {
+  Rng rng(4);
+  Fixture f(gen::dumbbell(24, 3, rng), 4, 9);
+  // The three bridge edges (those crossing the halves) form a cut.
+  std::vector<std::pair<Vertex, Vertex>> bridges;
+  for (const auto& e : f.g.edges()) {
+    if (e.u < 12 && e.v >= 12) bridges.emplace_back(e.u, e.v);
+  }
+  ASSERT_EQ(bridges.size(), 3u);
+  EXPECT_TRUE(verify_cut(f.cluster, f.dg, bridges, {}).ok);
+}
+
+TEST(VerifyCut, NonCutRejected) {
+  Fixture f(gen::complete(16), 4, 11);
+  // Removing two edges of K_16 never disconnects it.
+  const auto result = verify_cut(f.cluster, f.dg, {{0, 1}, {2, 3}}, {});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(VerifyStConn, ConnectedPair) {
+  Rng rng(5);
+  Fixture f(gen::connected_gnm(70, 180, rng), 4, 13);
+  EXPECT_TRUE(verify_st_connectivity(f.cluster, f.dg, 3, 55, {}).ok);
+}
+
+TEST(VerifyStConn, DisconnectedPair) {
+  Rng rng(6);
+  Fixture f(gen::multi_component(80, 160, 2, rng), 4, 15);
+  // multi_component splits [0,40) and [40,80).
+  EXPECT_FALSE(verify_st_connectivity(f.cluster, f.dg, 0, 79, {}).ok);
+  EXPECT_TRUE(verify_st_connectivity(f.cluster, f.dg, 0, 39, {}).ok);
+}
+
+TEST(VerifyEdgeOnAllPaths, BridgeInPath) {
+  Fixture f(gen::path(30), 4, 17);
+  // Every edge of a path lies on all paths between its sides.
+  EXPECT_TRUE(verify_edge_on_all_paths(f.cluster, f.dg, 2, 27, 10, 11, {}).ok);
+  // ...but not between vertices on the same side of it.
+  EXPECT_FALSE(verify_edge_on_all_paths(f.cluster, f.dg, 2, 5, 10, 11, {}).ok);
+}
+
+TEST(VerifyEdgeOnAllPaths, CycleEdgeNever) {
+  Fixture f(gen::cycle(20), 4, 19);
+  EXPECT_FALSE(verify_edge_on_all_paths(f.cluster, f.dg, 0, 10, 5, 6, {}).ok);
+}
+
+TEST(VerifyStCut, SeparatingSetAccepted) {
+  Fixture f(gen::path(20), 4, 21);
+  EXPECT_TRUE(verify_st_cut(f.cluster, f.dg, 0, 19, {{9, 10}}, {}).ok);
+}
+
+TEST(VerifyStCut, InsufficientSetRejected) {
+  Fixture f(gen::cycle(20), 4, 23);
+  // One edge of a cycle cannot separate anything.
+  EXPECT_FALSE(verify_st_cut(f.cluster, f.dg, 0, 10, {{0, 1}}, {}).ok);
+  // Two opposite edges do.
+  EXPECT_TRUE(verify_st_cut(f.cluster, f.dg, 0, 10, {{0, 1}, {10, 11}}, {}).ok);
+}
+
+TEST(VerifyCycle, TreeHasNone) {
+  Rng rng(7);
+  Fixture f(gen::random_tree(100, rng), 4, 25);
+  EXPECT_FALSE(verify_cycle_containment(f.cluster, f.dg, {}).ok);
+}
+
+TEST(VerifyCycle, TreePlusEdgeHasOne) {
+  Rng rng(8);
+  Graph tree = gen::random_tree(100, rng);
+  auto edges = tree.edges();
+  edges.push_back(WeightedEdge{0, 99, 1});
+  Fixture f(Graph(100, std::move(edges)), 4, 27);
+  EXPECT_TRUE(verify_cycle_containment(f.cluster, f.dg, {}).ok);
+}
+
+TEST(VerifyCycle, DisconnectedForestVsExtraEdge) {
+  Rng rng(9);
+  // Forest with two trees: no cycle even though disconnected.
+  const Graph forest = gen::disjoint_union({gen::random_tree(40, rng),
+                                            gen::random_tree(40, rng)});
+  Fixture f(forest, 4, 29);
+  EXPECT_FALSE(verify_cycle_containment(f.cluster, f.dg, {}).ok);
+}
+
+TEST(VerifyECycle, CycleEdgeAccepted) {
+  Fixture f(gen::cycle(24), 4, 31);
+  EXPECT_TRUE(verify_e_cycle_containment(f.cluster, f.dg, 5, 6, {}).ok);
+}
+
+TEST(VerifyECycle, BridgeRejected) {
+  Fixture f(gen::path(24), 4, 33);
+  EXPECT_FALSE(verify_e_cycle_containment(f.cluster, f.dg, 5, 6, {}).ok);
+}
+
+TEST(VerifyBipartite, BipartiteFamiliesAccepted) {
+  Rng rng(10);
+  for (const std::uint64_t seed : {35ULL, 37ULL}) {
+    Fixture f(gen::bipartite(40, 50, 220, rng), 4, seed);
+    EXPECT_TRUE(verify_bipartiteness(f.cluster, f.dg, {}).ok);
+  }
+  Fixture grid(gen::grid(9, 11), 4, 39);
+  EXPECT_TRUE(verify_bipartiteness(grid.cluster, grid.dg, {}).ok);
+  Fixture even(gen::cycle(30), 4, 41);
+  EXPECT_TRUE(verify_bipartiteness(even.cluster, even.dg, {}).ok);
+}
+
+TEST(VerifyBipartite, OddStructuresRejected) {
+  Rng rng(11);
+  Fixture odd(gen::cycle(31), 4, 43);
+  EXPECT_FALSE(verify_bipartiteness(odd.cluster, odd.dg, {}).ok);
+  Fixture spoiled(gen::odd_cycle_spoiler(40, 50, 220, rng), 4, 45);
+  EXPECT_FALSE(verify_bipartiteness(spoiled.cluster, spoiled.dg, {}).ok);
+  Fixture clique(gen::complete(9), 4, 47);
+  EXPECT_FALSE(verify_bipartiteness(clique.cluster, clique.dg, {}).ok);
+}
+
+TEST(VerifyBipartite, DisconnectedMixed) {
+  Rng rng(12);
+  // One bipartite part + one odd cycle: the whole graph is not bipartite.
+  const Graph mixed = gen::disjoint_union({gen::cycle(10), gen::cycle(11)});
+  Fixture f(mixed, 4, 49);
+  EXPECT_FALSE(verify_bipartiteness(f.cluster, f.dg, {}).ok);
+  const Graph both = gen::disjoint_union({gen::cycle(10), gen::cycle(12)});
+  Fixture f2(both, 4, 51);
+  EXPECT_TRUE(verify_bipartiteness(f2.cluster, f2.dg, {}).ok);
+}
+
+// Randomized cross-validation of the three label-comparison verifiers
+// against sequential references.
+class VerifyCross : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifyCross, AgreesWithReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::gnm(90, 140, rng);  // sparse: both classes appear
+  Fixture f(g, 4, split(seed, 1));
+  for (int probe = 0; probe < 4; ++probe) {
+    const auto s = static_cast<Vertex>(rng.next_below(90));
+    const auto t = static_cast<Vertex>(rng.next_below(90));
+    if (s == t) continue;
+    EXPECT_EQ(verify_st_connectivity(f.cluster, f.dg, s, t, {}).ok,
+              ref::same_component(g, s, t));
+  }
+  EXPECT_EQ(verify_cycle_containment(f.cluster, f.dg, {}).ok, ref::has_cycle(g));
+  EXPECT_EQ(verify_bipartiteness(f.cluster, f.dg, {}).ok, ref::is_bipartite(g));
+  if (g.num_edges() > 0) {
+    const auto& e = g.edges()[rng.next_below(g.num_edges())];
+    EXPECT_EQ(verify_e_cycle_containment(f.cluster, f.dg, e.u, e.v, {}).ok,
+              ref::edge_on_cycle(g, e.u, e.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyCross, ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace kmm
