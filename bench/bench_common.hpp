@@ -6,7 +6,9 @@
 // derived columns that make the comparison (normalized rounds, log-log
 // slopes). EXPERIMENTS.md records paper-vs-measured from these outputs.
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,27 +25,134 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("==================================================================\n");
 }
 
+/// A run plus its wall-clock time (the simulator's real execution time —
+/// what the runtime's --threads knob improves; the simulated round count is
+/// thread-invariant by construction).
+struct TimedResult {
+  BoruvkaResult result;
+  double wall_ms = 0.0;
+};
+
 /// One standard connectivity run; returns the full result (stats included).
-inline BoruvkaResult run_connectivity(const Graph& g, MachineId k, std::uint64_t seed) {
+inline BoruvkaResult run_connectivity(const Graph& g, MachineId k, std::uint64_t seed,
+                                      unsigned threads = 1) {
   Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
   const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
   BoruvkaConfig cfg;
   cfg.seed = split(seed, 2);
+  cfg.threads = threads;
   return connected_components(cluster, dg, cfg);
 }
 
-inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed) {
+inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed,
+                             unsigned threads = 1) {
   Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
   const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
   BoruvkaConfig cfg;
   cfg.seed = split(seed, 2);
+  cfg.threads = threads;
   return minimum_spanning_forest(cluster, dg, cfg);
 }
+
+inline TimedResult run_connectivity_timed(const Graph& g, MachineId k, std::uint64_t seed,
+                                          unsigned threads = 1) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = run_connectivity(g, k, seed, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  return TimedResult{std::move(result),
+                     std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+inline TimedResult run_mst_timed(const Graph& g, MachineId k, std::uint64_t seed,
+                                 unsigned threads = 1) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = run_mst(g, k, seed, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  return TimedResult{std::move(result),
+                     std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+/// Machine-readable perf trajectory: every record() appends a JSON object;
+/// the destructor writes BENCH_<name>.json into the working directory so CI
+/// and the EXPERIMENTS.md tooling can track rounds and wall-clock across
+/// commits without scraping the human-readable tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void record(const char* family, std::size_t n, std::size_t m, MachineId k,
+              unsigned threads, const BoruvkaResult& res, double wall_ms) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
+                  "\"threads\": %u, \"rounds\": %llu, \"messages\": %llu, "
+                  "\"bits\": %llu, \"supersteps\": %llu, \"phases\": %zu, "
+                  "\"wall_ms\": %.3f}",
+                  family, n, m, k, threads,
+                  static_cast<unsigned long long>(res.stats.rounds),
+                  static_cast<unsigned long long>(res.stats.messages),
+                  static_cast<unsigned long long>(res.stats.bits),
+                  static_cast<unsigned long long>(res.stats.supersteps),
+                  res.phases.size(), wall_ms);
+    records_.emplace_back(buf);
+  }
+
+  ~BenchJson() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> records_;
+};
 
 /// Weighted graph with distinct weights for MST experiments.
 inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'000) {
   Rng rng(seed);
   return with_unique_weights(with_random_weights(g, rng, limit));
+}
+
+/// Shared runtime thread-scaling harness: run `runner(threads)` over
+/// threads ∈ {1, 2, 4, 8}, print wall-clock and speedup vs threads=1,
+/// record every run into `json`, and enforce the runtime's ledger
+/// invariant (the simulated round count must not depend on the thread
+/// count). Returns false — after printing a LEDGER MISMATCH line — if the
+/// invariant is violated, so benches can exit nonzero.
+inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m, MachineId k,
+                               BenchJson& json,
+                               const std::function<TimedResult(unsigned)>& runner) {
+  std::printf("%8s %10s %9s %9s\n", "threads", "rounds", "wall_ms", "speedup");
+  double base_ms = 0.0;
+  std::uint64_t base_rounds = 0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const auto timed = runner(threads);
+    if (threads == 1) {
+      base_ms = timed.wall_ms;
+      base_rounds = timed.result.stats.rounds;
+    }
+    std::printf("%8u %10llu %9.1f %8.2fx\n", threads,
+                static_cast<unsigned long long>(timed.result.stats.rounds), timed.wall_ms,
+                base_ms / timed.wall_ms);
+    if (timed.result.stats.rounds != base_rounds) {
+      std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
+      return false;
+    }
+    json.record(family, n, m, k, threads, timed.result, timed.wall_ms);
+  }
+  return true;
 }
 
 /// log-log slope of rounds against k (the paper predicts ~ -2 for the

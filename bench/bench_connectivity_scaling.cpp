@@ -3,7 +3,9 @@
 //
 // Prints rounds(n, k) for G(n, 3n) and a multi-component family, the
 // normalization rounds*k^2/n (flat in k if the claim holds), and the
-// fitted log-log slope of rounds vs k (should be ~ -2).
+// fitted log-log slope of rounds vs k (should be ~ -2). A final section
+// measures the src/runtime/ thread scaling: same ledger, shrinking
+// wall-clock. Every run is appended to BENCH_connectivity_scaling.json.
 
 #include "bench_common.hpp"
 
@@ -12,25 +14,28 @@ using namespace kmmbench;
 int main() {
   banner("E1: connectivity scaling (Theorem 1)",
          "O~(n/k^2) rounds; speedup quadratic in k; counting adds O~(n/k^2)");
+  BenchJson json("connectivity_scaling");
 
   const std::vector<std::size_t> ns{2048, 8192, 32768};
   const std::vector<MachineId> ks{4, 8, 16, 32};
 
-  std::printf("%-18s %6s %4s %10s %10s %12s %12s %8s %7s\n", "family", "n", "k", "rounds",
-              "msgs", "bits", "rk2/n", "phases", "cc");
+  std::printf("%-18s %6s %4s %10s %10s %12s %12s %8s %7s %9s\n", "family", "n", "k",
+              "rounds", "msgs", "bits", "rk2/n", "phases", "cc", "wall_ms");
   for (const std::size_t n : ns) {
     Rng rng(split(1, n));
     const Graph g = gen::gnm(n, 3 * n, rng);
     std::vector<double> kd, rounds, kd_regime, rounds_regime;
     const std::uint64_t lg = bits_for(n);
     for (const MachineId k : ks) {
-      const auto res = run_connectivity(g, k, split(2, n * 100 + k));
+      const auto timed = run_connectivity_timed(g, k, split(2, n * 100 + k));
+      const auto& res = timed.result;
       const double norm = static_cast<double>(res.stats.rounds) * k * k / n;
-      std::printf("%-18s %6zu %4u %10llu %10llu %12llu %12.1f %8zu %7llu\n", "gnm(3n)", n, k,
-                  static_cast<unsigned long long>(res.stats.rounds),
+      std::printf("%-18s %6zu %4u %10llu %10llu %12llu %12.1f %8zu %7llu %9.1f\n",
+                  "gnm(3n)", n, k, static_cast<unsigned long long>(res.stats.rounds),
                   static_cast<unsigned long long>(res.stats.messages),
                   static_cast<unsigned long long>(res.stats.bits), norm, res.phases.size(),
-                  static_cast<unsigned long long>(res.num_components));
+                  static_cast<unsigned long long>(res.num_components), timed.wall_ms);
+      json.record("gnm(3n)", n, g.num_edges(), k, 1, res, timed.wall_ms);
       kd.push_back(k);
       rounds.push_back(static_cast<double>(res.stats.rounds));
       // The Theorem 1 bound is n/k^2 *plus additive polylog*; the quadratic
@@ -55,13 +60,33 @@ int main() {
   for (const MachineId k : ks) {
     Rng rng(7);
     const Graph g = gen::multi_component(4096, 10000, 8, rng);
-    const auto res = run_connectivity(g, k, split(3, k));
-    std::printf("%-18s %6u %4u %10llu %10llu %12llu %12.1f %8zu %7llu\n", "multi(8)", 4096u,
-                k, static_cast<unsigned long long>(res.stats.rounds),
+    const auto timed = run_connectivity_timed(g, k, split(3, k));
+    const auto& res = timed.result;
+    std::printf("%-18s %6u %4u %10llu %10llu %12llu %12.1f %8zu %7llu %9.1f\n", "multi(8)",
+                4096u, k, static_cast<unsigned long long>(res.stats.rounds),
                 static_cast<unsigned long long>(res.stats.messages),
                 static_cast<unsigned long long>(res.stats.bits),
                 static_cast<double>(res.stats.rounds) * k * k / 4096, res.phases.size(),
-                static_cast<unsigned long long>(res.num_components));
+                static_cast<unsigned long long>(res.num_components), timed.wall_ms);
+    json.record("multi(8)", 4096, g.num_edges(), k, 1, res, timed.wall_ms);
+  }
+
+  // Runtime thread scaling: the simulated ledger is identical across thread
+  // counts (tests/test_runtime.cpp proves bit-identity); what changes is the
+  // wall-clock of the simulation itself, dominated by per-machine sketch
+  // construction. Speedup here requires actual cores — on a single-core
+  // host the column stays ~1x.
+  std::printf("\nruntime thread scaling, gnm(3n) n=120000, k=16:\n");
+  {
+    const std::size_t n = 120000;
+    Rng rng(split(5, n));
+    const Graph g = gen::gnm(n, 3 * n, rng);
+    if (!run_thread_scaling("gnm(3n)-threads", n, g.num_edges(), 16, json,
+                            [&](unsigned threads) {
+                              return run_connectivity_timed(g, 16, split(6, n), threads);
+                            })) {
+      return 1;
+    }
   }
   return 0;
 }

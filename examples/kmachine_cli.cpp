@@ -12,6 +12,7 @@
 //             communities | pa | dumbbell | cliquechain
 //             or --input FILE with one "u v [w]" edge per line ('#' comments)
 // Common flags: --n --m --k --seed --bandwidth --coordinator --coinflip
+//               --threads T (parallel runtime; 0 = hardware concurrency)
 //               --verify (compare against the sequential reference)
 
 #include <algorithm>
@@ -41,6 +42,7 @@ struct Options {
   MachineId k = 8;
   std::uint64_t seed = 1;
   std::uint64_t bandwidth = 0;  // 0 => ceil(log2 n)^2
+  unsigned threads = 1;         // runtime worker threads; 0 => hardware
   bool coordinator = false;
   bool coinflip = false;
   bool verify = true;
@@ -53,7 +55,7 @@ struct Options {
                "communities|pa|dumbbell|cliquechain\n"
                "          [--n N] [--m M] [--rows R --cols C] [--lambda L]\n"
                "          [--blocks B] [--k K] [--seed S] [--bandwidth BITS]\n"
-               "          [--coordinator] [--coinflip] [--no-verify]\n",
+               "          [--threads T] [--coordinator] [--coinflip] [--no-verify]\n",
                argv0);
   std::exit(2);
 }
@@ -91,6 +93,7 @@ Options parse(int argc, char** argv) {
   opt.k = static_cast<MachineId>(get_u64("k", opt.k));
   opt.seed = get_u64("seed", opt.seed);
   opt.bandwidth = get_u64("bandwidth", 0);
+  opt.threads = static_cast<unsigned>(get_u64("threads", opt.threads));
   return opt;
 }
 
@@ -167,6 +170,17 @@ int main(int argc, char** argv) {
   acfg.seed = split(opt.seed, 0xa190);
   acfg.single_coordinator = opt.coordinator;
   acfg.merge_rule = opt.coinflip ? MergeRule::kCoinFlip : MergeRule::kDrr;
+  acfg.threads = opt.threads;
+  if (opt.threads != 1) {
+    // Only the Borůvka-backed algorithms consume BoruvkaConfig::threads.
+    const bool threaded_algo = opt.algo == "conn" || opt.algo == "mst" ||
+                               opt.algo == "2ec" || opt.algo == "bipartite";
+    if (threaded_algo) {
+      std::printf("runtime threads=%u\n", opt.threads);
+    } else {
+      std::printf("note: --threads is ignored for algo '%s'\n", opt.algo.c_str());
+    }
+  }
 
   if (opt.algo == "leader") {
     const auto res = elect_leader(cluster, acfg.seed);

@@ -35,9 +35,22 @@ void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
   send(Message{src, dst, tag, std::move(payload), bits});
 }
 
+void Cluster::enqueue_batch(std::vector<Message>&& batch) {
+  for (const auto& msg : batch) {
+    KMM_CHECK(msg.src < config_.k && msg.dst < config_.k);
+  }
+  outbox_.insert(outbox_.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+  batch.clear();
+}
+
 std::uint64_t Cluster::superstep() {
   for (auto& inbox : inboxes_) inbox.clear();
   if (outbox_.empty()) return 0;
+  return deliver_pending();
+}
+
+std::uint64_t Cluster::deliver_pending() {
 
   // Per-directed-link bit loads for this superstep.
   std::unordered_map<std::uint64_t, std::uint64_t> link_bits;

@@ -20,6 +20,12 @@
 // The engine keeps a full ledger (rounds, messages, bits, per-superstep
 // per-link maxima, per-machine traffic) — the measurements every benchmark
 // in EXPERIMENTS.md is built on.
+//
+// Execution paths: algorithms either send() directly (sequential) or run on
+// the src/runtime/ parallel engine, which buffers sends in per-source shards
+// and merges them here via enqueue_batch() in machine order. Both paths
+// funnel into the same deliver_pending() accounting, so the ledger is by
+// construction identical however the local computation was scheduled.
 
 #include <cstdint>
 #include <span>
@@ -66,6 +72,12 @@ class Cluster {
   void send(MachineId src, MachineId dst, std::uint32_t tag,
             std::vector<std::uint64_t> payload, std::uint64_t bits = 0);
 
+  /// Move a pre-ordered batch of messages into the pending outbox —
+  /// equivalent to send() per message in batch order. Used by the parallel
+  /// Runtime to merge per-source outbox shards after the superstep barrier;
+  /// the batch is left empty (capacity retained for reuse).
+  void enqueue_batch(std::vector<Message>&& batch);
+
   /// Deliver all enqueued messages; charge rounds; returns rounds charged.
   /// After the call, inbox(m) holds machine m's received messages (in
   /// deterministic send order) until the next superstep.
@@ -91,6 +103,11 @@ class Cluster {
   }
 
  private:
+  /// The single delivery/accounting path: routes every pending message to
+  /// its inbox and updates the full ledger. Both the sequential send() path
+  /// and the runtime's enqueue_batch() path terminate here.
+  std::uint64_t deliver_pending();
+
   ClusterConfig config_;
   std::vector<Message> outbox_;                 // pending, in send order
   std::vector<std::vector<Message>> inboxes_;   // per machine, current superstep

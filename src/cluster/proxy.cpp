@@ -1,4 +1,15 @@
 #include "cluster/proxy.hpp"
 
-// ProxyMap is header-only; this translation unit exists to anchor the
-// library target (and any future out-of-line helpers).
+namespace kmm {
+
+// Construction paths live here; the per-message proxy_of() lookup stays
+// inline in the header (see its comment).
+
+ProxyMap ProxyMap::fixed(MachineId coordinator, MachineId k) noexcept {
+  ProxyMap p(0, k);
+  p.fixed_ = true;
+  p.coordinator_ = coordinator;
+  return p;
+}
+
+}  // namespace kmm

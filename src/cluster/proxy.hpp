@@ -20,15 +20,13 @@ class ProxyMap {
   /// Degenerate map sending every component to one fixed machine — the
   /// "trivial strategy" of Section 1.2 (ship all sketches to a coordinator)
   /// that congests one node into O~(n/k) rounds. Exists for the ablation
-  /// experiments; never used by the real algorithm.
-  static ProxyMap fixed(MachineId coordinator, MachineId k) noexcept {
-    ProxyMap p(0, k);
-    p.fixed_ = true;
-    p.coordinator_ = coordinator;
-    return p;
-  }
+  /// experiments; never used by the real algorithm. Out of line (proxy.cpp);
+  /// cold construction path.
+  static ProxyMap fixed(MachineId coordinator, MachineId k) noexcept;
 
-  /// The proxy machine responsible for `label` this iteration.
+  /// The proxy machine responsible for `label` this iteration. Stays
+  /// header-inline: it runs once per routed message (sketches, handoffs,
+  /// directives, relabels) and the build has no LTO to recover the call.
   [[nodiscard]] MachineId proxy_of(std::uint64_t label) const noexcept {
     if (fixed_) return coordinator_;
     return static_cast<MachineId>(split(seed_, label) % k_);

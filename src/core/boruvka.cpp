@@ -64,15 +64,17 @@ BoruvkaEngine::BoruvkaEngine(Cluster& cluster, const DistributedGraph& dg,
       mode_(mode),
       shared_(config.seed),
       n_(dg.num_vertices()),
-      label_bits_(bits_for(std::max<std::uint64_t>(n_, 2))) {
+      label_bits_(bits_for(std::max<std::uint64_t>(n_, 2))),
+      runtime_(cluster, RuntimeConfig{config.threads}) {
   KMM_CHECK_MSG(n_ >= 2, "the engine needs at least two vertices");
   const MachineId k = cluster_->k();
   machine_parts_.resize(k);
   resend_.resize(k);
   part_thr_.resize(k);
   proxy_records_.resize(k);
+  sampler_retries_by_machine_.assign(k, 0);
   labels_.resize(n_);
-  finished_.assign(n_, 0);
+  finished_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_);
   for (Vertex v = 0; v < n_; ++v) {
     labels_[v] = v;
     machine_parts_[dg.home(v)][v] = {v};
@@ -106,7 +108,7 @@ bool BoruvkaEngine::any_active_parts() {
   std::vector<char> bit(k, 0);
   for (MachineId i = 0; i < k; ++i) {
     for (const auto& [label, verts] : machine_parts_[i]) {
-      if (!verts.empty() && !finished_[label]) {
+      if (!verts.empty() && !finished_[label].load(std::memory_order_relaxed)) {
         bit[i] = 1;
         break;
       }
@@ -115,7 +117,7 @@ bool BoruvkaEngine::any_active_parts() {
   return or_reduce_broadcast(*cluster_, bit, kTagCtrlActive);
 }
 
-void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, MachineId from_machine,
+void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& out,
                                   const ProxyMap& to) {
   const std::uint64_t rec_bits = 4 * label_bits_ + 140 + cluster_->k();
   for (const auto& [label, rec] : from) {
@@ -131,8 +133,7 @@ void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, MachineId
         .u64(rec.cand_w)
         .u64(rec.target);
     for (const auto word : rec.srcs) w.u64(word);
-    cluster_->send(from_machine, to.proxy_of(label), kTagHandoff, std::move(w).take(),
-                   rec_bits);
+    out.send(to.proxy_of(label), kTagHandoff, std::move(w).take(), rec_bits);
   }
 }
 
@@ -162,7 +163,9 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
     part_thr_[i].clear();
     proxy_records_[i].clear();
     for (const auto& [label, verts] : machine_parts_[i]) {
-      if (!verts.empty() && !finished_[label]) resend_[i].insert(label);
+      if (!verts.empty() && !finished_[label].load(std::memory_order_relaxed)) {
+        resend_[i].insert(label);
+      }
     }
   }
 
@@ -173,9 +176,12 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
     const GraphSketchBuilder builder(n_, shared_.seed(phase, t, seed_purpose::kSketch),
                                      config_.sketch_copies);
 
-    // SS1 sends: per-part sketches (restricted by the local threshold in
-    // MST mode) and record handoffs from the previous proxy generation.
-    for (MachineId i = 0; i < k; ++i) {
+    // SS1: each machine sketches its active parts (restricted by the local
+    // threshold in MST mode) and, from the second iteration on, hands its
+    // proxy records off to the fresh proxy generation. Sketch construction
+    // is the engine's dominant local computation — the handlers below are
+    // where threads > 1 pays.
+    runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
       for (const Label label : resend_[i]) {
         const auto part_it = machine_parts_[i].find(label);
         KMM_CHECK(part_it != machine_parts_[i].end());
@@ -187,31 +193,28 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
         WordWriter w;
         w.u64(label);
         sketch.serialize(w);
-        cluster_->send(i, prox.proxy_of(label), kTagSketch, std::move(w).take(),
-                       label_bits_ + sketch.wire_bits());
+        out.send(prox.proxy_of(label), kTagSketch, std::move(w).take(),
+                 label_bits_ + sketch.wire_bits());
       }
       resend_[i].clear();
-    }
-    if (t >= 1) {
-      for (MachineId i = 0; i < k; ++i) {
-        send_handoffs(proxy_records_[i], i, prox);
+      if (t >= 1) {
+        send_handoffs(proxy_records_[i], out, prox);
         proxy_records_[i].clear();
       }
-    }
-    cluster_->superstep();
+    });
 
-    // Receive: handoffs first so records exist before sketches are merged.
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
+    // Proxy side: apply handoffs first so records exist before this
+    // iteration's sketches are merged, then sum per-label sketches and run
+    // the state transitions on the combined result.
+    runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+      for (const auto& msg : inbox) {
         if (msg.tag == kTagHandoff) {
           WordReader r(msg.payload);
           apply_handoff(r, proxy_records_[i]);
         }
       }
-    }
-    for (MachineId i = 0; i < k; ++i) {
       std::map<Label, L0Sampler> sums;
-      for (const auto& msg : cluster_->inbox(i)) {
+      for (const auto& msg : inbox) {
         if (msg.tag != kTagSketch) continue;
         WordReader r(msg.payload);
         const Label label = r.u64();
@@ -238,13 +241,12 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
           if (rec.has_candidate) {
             // No outgoing edge lighter than the candidate: MWOE confirmed.
             rec.state = kAwaitLabel;
-            cluster_->send(i, dg_->home(rec.cand_out), kTagLabelQuery,
-                           {label, rec.cand_out}, 2 * label_bits_);
+            out.send(dg_->home(rec.cand_out), kTagLabelQuery, {label, rec.cand_out},
+                     2 * label_bits_);
           } else {
             rec.state = kFinishedState;
             mask_for_each(rec.srcs, [&](MachineId m) {
-              cluster_->send(i, m, kTagDirective, {label, kDirectiveFinished, 0},
-                             label_bits_ + 2);
+              out.send(m, kTagDirective, {label, kDirectiveFinished, 0}, label_bits_ + 2);
             });
           }
           continue;
@@ -252,10 +254,10 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
         const auto sampled = sum.sample();
         if (!sampled) {
           // Nonzero vector but recovery failed: retry with fresh seeds.
-          ++result_.sampler_retries;
+          ++sampler_retries_by_machine_[i];
           mask_for_each(rec.srcs, [&](MachineId m) {
-            cluster_->send(i, m, kTagDirective, {label, kDirectiveContinue, rec.thr},
-                           label_bits_ + 66);
+            out.send(m, kTagDirective, {label, kDirectiveContinue, rec.thr},
+                     label_bits_ + 66);
           });
           continue;
         }
@@ -265,51 +267,50 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
         rec.has_candidate = true;
         if (mode_ == BoruvkaMode::kConnectivity) {
           rec.state = kAwaitLabel;
-          cluster_->send(i, dg_->home(rec.cand_out), kTagLabelQuery, {label, rec.cand_out},
-                         2 * label_bits_);
+          out.send(dg_->home(rec.cand_out), kTagLabelQuery, {label, rec.cand_out},
+                   2 * label_bits_);
         } else {
           rec.state = kAwaitWeight;
-          cluster_->send(i, dg_->home(rec.cand_in), kTagWeightQuery,
-                         {label, rec.cand_in, rec.cand_out}, 3 * label_bits_);
+          out.send(dg_->home(rec.cand_in), kTagWeightQuery,
+                   {label, rec.cand_in, rec.cand_out}, 3 * label_bits_);
         }
       }
-    }
-    cluster_->superstep();
+    });
 
-    // SS2 receive: home machines answer queries; part machines apply
-    // directives issued by the sampling step.
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
+    // SS2: home machines answer queries; part machines apply directives
+    // issued by the sampling step.
+    runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+      for (const auto& msg : inbox) {
         switch (msg.tag) {
           case kTagLabelQuery: {
             const Label label = msg.payload.at(0);
             const auto v = static_cast<Vertex>(msg.payload.at(1));
             KMM_CHECK_MSG(dg_->home(v) == i, "label query reached a non-home machine");
-            cluster_->send(i, msg.src, kTagLabelReply, {label, labels_[v]}, 2 * label_bits_);
+            out.send(msg.src, kTagLabelReply, {label, labels_[v]}, 2 * label_bits_);
             break;
           }
           case kTagWeightQuery: {
             const Label label = msg.payload.at(0);
             const auto in = static_cast<Vertex>(msg.payload.at(1));
-            const auto out = static_cast<Vertex>(msg.payload.at(2));
+            const auto out_v = static_cast<Vertex>(msg.payload.at(2));
             KMM_CHECK_MSG(dg_->home(in) == i, "weight query reached a non-home machine");
             Weight w = 0;
             bool found = false;
             for (const auto& he : dg_->neighbors(in)) {
-              if (he.to == out) {
+              if (he.to == out_v) {
                 w = he.weight;
                 found = true;
                 break;
               }
             }
             KMM_CHECK_MSG(found, "sampled edge does not exist at the home machine");
-            cluster_->send(i, msg.src, kTagWeightReply, {label, w}, label_bits_ + 64);
+            out.send(msg.src, kTagWeightReply, {label, w}, label_bits_ + 64);
             break;
           }
           case kTagDirective: {
             const Label label = msg.payload.at(0);
             if (msg.payload.at(1) == kDirectiveFinished) {
-              finished_[label] = 1;
+              finished_[label].store(1, std::memory_order_relaxed);
             } else {
               resend_[i].insert(label);
               part_thr_[i][label] = msg.payload.at(2);
@@ -320,12 +321,11 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
             break;
         }
       }
-    }
-    cluster_->superstep();
+    });
 
-    // SS3 receive: replies complete the pending transitions.
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
+    // SS3: replies complete the pending transitions.
+    runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+      for (const auto& msg : inbox) {
         if (msg.tag == kTagLabelReply) {
           const Label label = msg.payload.at(0);
           const Label target = msg.payload.at(1);
@@ -344,27 +344,30 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
           rec.thr = w - 1;  // next sketches keep strictly lighter edges only
           rec.state = kSearching;
           mask_for_each(rec.srcs, [&](MachineId m) {
-            cluster_->send(i, m, kTagDirective, {label, kDirectiveContinue, rec.thr},
-                           label_bits_ + 66);
+            out.send(m, kTagDirective, {label, kDirectiveContinue, rec.thr},
+                     label_bits_ + 66);
           });
         }
       }
-    }
-    cluster_->superstep();
+    });
 
-    // SS4 receive: threshold directives issued after weight replies.
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
-        if (msg.tag != kTagDirective) continue;
-        const Label label = msg.payload.at(0);
-        if (msg.payload.at(1) == kDirectiveFinished) {
-          finished_[label] = 1;
-        } else {
-          resend_[i].insert(label);
-          part_thr_[i][label] = msg.payload.at(2);
-        }
-      }
-    }
+    // SS4: threshold directives issued after weight replies. Pure control
+    // application (and no sends, so the trailing superstep is free) — run
+    // inline, the barrier would cost more than the work.
+    runtime_.step(
+        [&](MachineId i, std::span<const Message> inbox, Outbox&) {
+          for (const auto& msg : inbox) {
+            if (msg.tag != kTagDirective) continue;
+            const Label label = msg.payload.at(0);
+            if (msg.payload.at(1) == kDirectiveFinished) {
+              finished_[label].store(1, std::memory_order_relaxed);
+            } else {
+              resend_[i].insert(label);
+              part_thr_[i][label] = msg.payload.at(2);
+            }
+          }
+        },
+        StepMode::kInline);
 
     std::vector<char> busy(k, 0);
     for (MachineId i = 0; i < k; ++i) {
@@ -381,11 +384,10 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
 }
 
 void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
-  const MachineId k = cluster_->k();
   const ProxyMap prox = elimination_proxies(phase, proxy_gen);
   const std::uint64_t rank_seed = shared_.seed(phase, 0, seed_purpose::kRank);
 
-  for (MachineId i = 0; i < k; ++i) {
+  runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
     std::vector<Label> finished_records;
     for (auto& [label, rec] : proxy_records_[i]) {
       if (rec.state == kFinishedState) {
@@ -410,26 +412,28 @@ void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
       }
       if (attach) {
         rec.parent = rec.target;
-        cluster_->send(i, prox.proxy_of(rec.target), kTagChildReg, {label, rec.target},
-                       2 * label_bits_);
+        out.send(prox.proxy_of(rec.target), kTagChildReg, {label, rec.target},
+                 2 * label_bits_);
       } else {
         rec.parent = label;  // root of its merge tree
       }
     }
     for (const Label label : finished_records) proxy_records_[i].erase(label);
-  }
-  cluster_->superstep();
+  });
 
-  for (MachineId i = 0; i < k; ++i) {
-    for (const auto& msg : cluster_->inbox(i)) {
-      if (msg.tag != kTagChildReg) continue;
-      const Label parent = msg.payload.at(1);
-      const auto it = proxy_records_[i].find(parent);
-      KMM_CHECK_MSG(it != proxy_records_[i].end(),
-                    "child registered with an unknown parent component");
-      ++it->second.children_left;
-    }
-  }
+  // Counter bumps only — not worth a pool dispatch.
+  runtime_.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox&) {
+        for (const auto& msg : inbox) {
+          if (msg.tag != kTagChildReg) continue;
+          const Label parent = msg.payload.at(1);
+          const auto it = proxy_records_[i].find(parent);
+          KMM_CHECK_MSG(it != proxy_records_[i].end(),
+                        "child registered with an unknown parent component");
+          ++it->second.children_left;
+        }
+      },
+      StepMode::kInline);
 }
 
 std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t last_gen) {
@@ -453,22 +457,20 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
 
     // Fresh proxies each merge iteration (Lemma 5) + record handoff.
     const ProxyMap prox = merge_proxies(phase, rho);
-    for (MachineId i = 0; i < k; ++i) {
-      send_handoffs(proxy_records_[i], i, prox);
+    runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
+      send_handoffs(proxy_records_[i], out, prox);
       proxy_records_[i].clear();
-    }
-    cluster_->superstep();
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
+    });
+
+    // Apply handoffs, then merge leaves (no remaining children) into their
+    // parents; both touch only this machine's record map.
+    runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+      for (const auto& msg : inbox) {
         if (msg.tag == kTagHandoff) {
           WordReader r(msg.payload);
           apply_handoff(r, proxy_records_[i]);
         }
       }
-    }
-
-    // Leaves (no remaining children) merge into their parents.
-    for (MachineId i = 0; i < k; ++i) {
       std::vector<Label> merged;
       for (const auto& [label, rec] : proxy_records_[i]) {
         if (rec.parent == label || rec.children_left != 0) continue;
@@ -478,21 +480,20 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
           result_.forest_by_machine[i].emplace_back(u, v);
         }
         mask_for_each(rec.srcs, [&](MachineId m) {
-          cluster_->send(i, m, kTagRelabel, {label, rec.parent}, 2 * label_bits_);
+          out.send(m, kTagRelabel, {label, rec.parent}, 2 * label_bits_);
         });
         WordWriter w;
         w.u64(rec.parent);
         for (const auto word : rec.srcs) w.u64(word);
-        cluster_->send(i, prox.proxy_of(rec.parent), kTagChildDone, std::move(w).take(),
-                       label_bits_ + cluster_->k() + 16);
+        out.send(prox.proxy_of(rec.parent), kTagChildDone, std::move(w).take(),
+                 label_bits_ + cluster_->k() + 16);
         merged.push_back(label);
       }
       for (const Label label : merged) proxy_records_[i].erase(label);
-    }
-    cluster_->superstep();
+    });
 
-    for (MachineId i = 0; i < k; ++i) {
-      for (const auto& msg : cluster_->inbox(i)) {
+    runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
+      for (const auto& msg : inbox) {
         if (msg.tag == kTagRelabel) {
           relabel_part(i, msg.payload.at(0), msg.payload.at(1));
         } else if (msg.tag == kTagChildDone) {
@@ -508,7 +509,7 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
           mask_or(it->second.srcs, child_srcs);
         }
       }
-    }
+    });
   }
   result_.max_merge_iterations = std::max(result_.max_merge_iterations, rho);
   return rho;
@@ -540,32 +541,36 @@ std::uint64_t BoruvkaEngine::count_distinct_labels() const {
 void BoruvkaEngine::run_component_count() {
   const MachineId k = cluster_->k();
   const ProxyMap prox(shared_.seed(0xC017, 0, seed_purpose::kProxy), k);
-  for (MachineId i = 0; i < k; ++i) {
+  runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
     for (const auto& [label, verts] : machine_parts_[i]) {
-      if (!verts.empty()) cluster_->send(i, prox.proxy_of(label), kTagCountProxy, {label},
-                                         label_bits_);
+      if (!verts.empty()) out.send(prox.proxy_of(label), kTagCountProxy, {label}, label_bits_);
     }
-  }
-  cluster_->superstep();
-  for (MachineId i = 0; i < k; ++i) {
+  });
+  runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+    (void)i;
     std::set<Label> distinct;
-    for (const auto& msg : cluster_->inbox(i)) {
+    for (const auto& msg : inbox) {
       if (msg.tag == kTagCountProxy) distinct.insert(msg.payload.at(0));
     }
     for (const Label label : distinct) {
-      cluster_->send(i, 0, kTagCountRoot, {label}, label_bits_);
+      out.send(0, kTagCountRoot, {label}, label_bits_);
     }
-  }
-  cluster_->superstep();
-  std::set<Label> all;
-  for (const auto& msg : cluster_->inbox(0)) {
-    if (msg.tag == kTagCountRoot) all.insert(msg.payload.at(0));
-  }
-  const auto count = static_cast<std::uint64_t>(all.size());
-  for (MachineId i = 1; i < k; ++i) {
-    cluster_->send(0, i, kTagCountBcast, {count}, 64);
-  }
-  cluster_->superstep();
+  });
+  // Only machine 0 acts here; there is no parallelism to harvest.
+  std::uint64_t count = 0;
+  runtime_.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+        if (i != 0) return;
+        std::set<Label> all;
+        for (const auto& msg : inbox) {
+          if (msg.tag == kTagCountRoot) all.insert(msg.payload.at(0));
+        }
+        count = all.size();
+        for (MachineId j = 1; j < out.machines(); ++j) {
+          out.send(j, kTagCountBcast, {count}, 64);
+        }
+      },
+      StepMode::kInline);
   result_.num_components = count;
 }
 
@@ -611,6 +616,7 @@ BoruvkaResult BoruvkaEngine::run() {
   } else {
     result_.num_components = count_distinct_labels();
   }
+  for (const auto retries : sampler_retries_by_machine_) result_.sampler_retries += retries;
   result_.labels = labels_;
   result_.stats = scope.snapshot();
   return result_;

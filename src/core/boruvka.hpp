@@ -17,6 +17,16 @@
 // round/bit ledger reflects the full protocol, including label/weight
 // lookups at home machines and all control traffic.
 //
+// Execution: every per-machine protocol segment (sketch construction,
+// proxy-side merges and state transitions, query answering, relabeling) is
+// a superstep handler run on the src/runtime/ engine, so with
+// config.threads > 1 the k machines' local computation proceeds in
+// parallel. Handlers only touch machine-indexed state (machine_parts_[i],
+// proxy_records_[i], ...); the two cross-machine cells — the finished-label
+// flags, set concurrently by several part machines, and nothing else — are
+// atomics. The cluster ledger is identical for every thread count (see
+// runtime/runtime.hpp for why, and tests/test_runtime.cpp for proof).
+//
 // Modes:
 //  * kConnectivity — samples any outgoing edge; merge edges form a spanning
 //    forest (each edge recorded by the proxy machine that performed the
@@ -27,8 +37,10 @@
 //    (cut property), so with distinct weights the union over machines is
 //    exactly the MST.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -38,6 +50,7 @@
 #include "cluster/proxy.hpp"
 #include "cluster/shared_randomness.hpp"
 #include "core/common.hpp"
+#include "runtime/runtime.hpp"
 #include "sketch/graph_sketch.hpp"
 
 namespace kmm {
@@ -68,6 +81,10 @@ struct BoruvkaConfig {
   /// instead of random proxies — the congested "trivial strategy" of
   /// Section 1.2. Correctness is unaffected; rounds degrade to O~(n/k).
   bool single_coordinator = false;
+  /// Worker threads for per-machine local computation (1 = sequential,
+  /// 0 = hardware concurrency; clamped to k). Results and the cluster
+  /// ledger are identical for every value — only wall-clock time changes.
+  unsigned threads = 1;
 };
 
 struct PhaseTrace {
@@ -140,10 +157,8 @@ class BoruvkaEngine {
   // -- helpers -------------------------------------------------------------
   [[nodiscard]] ProxyMap elimination_proxies(std::uint32_t phase, std::uint32_t t) const;
   [[nodiscard]] ProxyMap merge_proxies(std::uint32_t phase, std::uint32_t rho) const;
-  void send_handoffs(const std::map<Label, Record>& from, MachineId from_machine,
-                     const ProxyMap& to);
+  void send_handoffs(const std::map<Label, Record>& from, Outbox& out, const ProxyMap& to);
   void apply_handoff(WordReader& reader, std::map<Label, Record>& into);
-  void send_directive(MachineId proxy_machine, const Record& rec, Label label, bool finished);
   void relabel_part(MachineId machine, Label from, Label to);
   [[nodiscard]] std::uint64_t count_distinct_labels() const;  // instrumentation only
 
@@ -174,13 +189,20 @@ class BoruvkaEngine {
   SharedRandomness shared_;
   std::size_t n_;
   std::uint64_t label_bits_;  // wire bits of one label / vertex id
+  Runtime runtime_;           // parallel superstep executor over cluster_
 
-  // Home-machine state.
+  // Home-machine state. All vectors below are indexed by machine and each
+  // superstep handler touches only its own slot — the property that makes
+  // the per-machine handlers race-free without locks.
   std::vector<std::map<Label, std::vector<Vertex>>> machine_parts_;
   std::vector<std::set<Label>> resend_;  // labels to re-sketch next iteration
   std::vector<std::map<Label, Weight>> part_thr_;  // per-machine thresholds
   std::vector<Label> labels_;    // labels_[v], authoritative at home(v)
-  std::vector<char> finished_;   // by label id
+  // finished_[label]: set (0 -> 1 only) concurrently by every part machine
+  // receiving the finish directive; atomic because several machines may
+  // hold parts of the same component. Read between supersteps.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> finished_;
+  std::vector<std::uint64_t> sampler_retries_by_machine_;
 
   // Proxy-side records for the current proxy generation.
   std::vector<std::map<Label, Record>> proxy_records_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/builder.hpp"
+#include "util/codec.hpp"
 
 namespace kmm::gen {
 
@@ -294,6 +295,40 @@ Graph preferential_attachment(std::size_t n, std::size_t attach, Rng& rng) {
     }
   }
   return b.build();
+}
+
+Graph rmat(std::size_t n, std::size_t m, Rng& rng, double a, double b, double c) {
+  KMM_CHECK(n >= 2);
+  KMM_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+                "rmat: quadrant probabilities must be positive and sum below 1");
+  const std::uint64_t levels = bits_for(n);
+  GraphBuilder builder(n);
+  // Attempt cap: duplicates concentrate in the hot quadrant, so dense
+  // requests stop making progress; 16 attempts per requested edge is ample
+  // for the sparse m = O(n) regime the experiments use.
+  const std::size_t max_attempts = 16 * m + 64;
+  for (std::size_t attempt = 0; attempt < max_attempts && builder.num_edges() < m;
+       ++attempt) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint64_t level = 0; level < levels; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: both bits 0
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return builder.build();
 }
 
 }  // namespace kmm::gen

@@ -76,4 +76,12 @@ namespace kmm::gen {
 /// heavy-tailed degree distribution (web/social-graph shape).
 [[nodiscard]] Graph preferential_attachment(std::size_t n, std::size_t attach, Rng& rng);
 
+/// R-MAT (Chakrabarti–Zhan–Faloutsos): recursive quadrant descent over the
+/// adjacency matrix with probabilities (a, b, c, 1-a-b-c). Skewed degrees
+/// and clustered structure — the standard "hard" synthetic input for
+/// distributed graph processing. Self-loops and duplicate edges are
+/// dropped, so the result has at most `m` edges (attempts are capped).
+[[nodiscard]] Graph rmat(std::size_t n, std::size_t m, Rng& rng, double a = 0.57,
+                         double b = 0.19, double c = 0.19);
+
 }  // namespace kmm::gen

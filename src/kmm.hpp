@@ -6,8 +6,16 @@
 //   util       — RNG, F_{2^61-1}, hashing, stats, codec
 //   graph      — CSR graphs, generators, sequential reference algorithms
 //   cluster    — the k-machine synchronous-round simulator and partitions
+//   runtime    — thread-parallel superstep execution: per-machine
+//                MachineProgram handlers run on a worker pool with
+//                per-source sharded outboxes, a barrier, and a
+//                deterministic machine-order merge into the cluster's
+//                single delivery/accounting path. Invariant: the
+//                ClusterStats ledger is independent of the thread count.
 //   sketch     — linear l0-sampling graph sketches
 //   core       — connectivity / MST / min-cut / verification + baselines
+//                (the Borůvka engine executes on the runtime; set
+//                BoruvkaConfig::threads to parallelize machine-local work)
 //   lowerbound — Section 4 two-party simulation artifacts
 
 #include "cluster/cluster.hpp"
@@ -34,6 +42,10 @@
 #include "lowerbound/disjointness.hpp"
 #include "lowerbound/scs_instance.hpp"
 #include "lowerbound/two_party_sim.hpp"
+#include "runtime/machine_program.hpp"
+#include "runtime/outbox.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sketch/graph_sketch.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"

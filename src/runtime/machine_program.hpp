@@ -1,0 +1,36 @@
+#pragma once
+// The per-machine program interface of the parallel superstep runtime.
+//
+// A MachineProgram is the code one simulated machine runs: each superstep
+// the runtime calls on_superstep(i, inbox, out) for every machine i with the
+// messages delivered to i by the previous superstep. Handlers for different
+// machines may run concurrently, so on_superstep must only touch state owned
+// by machine `self` (plus read-only shared state) and must emit messages
+// exclusively through `out`. Determinism contract: a handler's behavior may
+// depend only on (self, inbox contents, program state) — never on thread
+// identity, timing, or global mutable state — so that results and the
+// cluster ledger are independent of the runtime's thread count.
+
+#include <span>
+
+#include "cluster/message.hpp"
+#include "runtime/outbox.hpp"
+
+namespace kmm {
+
+class MachineProgram {
+ public:
+  virtual ~MachineProgram() = default;
+
+  /// One superstep of machine `self`: read the inbox, update machine-local
+  /// state, enqueue next-superstep messages on `out`.
+  virtual void on_superstep(MachineId self, std::span<const Message> inbox,
+                            Outbox& out) = 0;
+
+  /// Global termination predicate, evaluated between supersteps on the
+  /// driving thread (never concurrently with handlers). Programs driven
+  /// manually by an external loop can leave the default.
+  [[nodiscard]] virtual bool done() const { return false; }
+};
+
+}  // namespace kmm

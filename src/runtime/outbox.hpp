@@ -1,0 +1,67 @@
+#pragma once
+// Per-machine send port handed to superstep handlers.
+//
+// A handler running as machine i may only emit messages with src == i; the
+// Outbox enforces that and hides where the messages physically go:
+//
+//  * direct mode    — writes straight into the Cluster's pending outbox
+//                     (the sequential path; handlers run one machine at a
+//                     time in machine order, so the global send order is the
+//                     classic "for each machine, send" order);
+//  * sharded mode   — writes into a private per-source buffer owned by the
+//                     Runtime; after the superstep barrier the Runtime
+//                     merges shards in ascending machine order, reproducing
+//                     exactly the direct-mode global order regardless of how
+//                     handler execution interleaved across threads.
+//
+// Either way every message reaches Cluster::superstep(), the single
+// delivery/accounting path, so the round/bit ledger cannot diverge between
+// the two execution modes.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/message.hpp"
+#include "util/assert.hpp"
+
+namespace kmm {
+
+class Outbox {
+ public:
+  /// Direct mode: messages go straight to `cluster`.
+  Outbox(Cluster& cluster, MachineId self) noexcept
+      : cluster_(&cluster), shard_(nullptr), self_(self), k_(cluster.k()) {}
+
+  /// Sharded mode: messages buffer in `shard` until the Runtime merges it.
+  Outbox(std::vector<Message>& shard, MachineId self, MachineId k) noexcept
+      : cluster_(nullptr), shard_(&shard), self_(self), k_(k) {}
+
+  [[nodiscard]] MachineId self() const noexcept { return self_; }
+  [[nodiscard]] MachineId machines() const noexcept { return k_; }
+
+  /// Enqueue a message from this machine for the next delivery. Same
+  /// semantics as Cluster::send with src pinned to self().
+  void send(MachineId dst, std::uint32_t tag, std::vector<std::uint64_t> payload,
+            std::uint64_t bits = 0) {
+    KMM_CHECK(dst < k_);
+    if (cluster_ != nullptr) {
+      cluster_->send(self_, dst, tag, std::move(payload), bits);
+    } else {
+      shard_->push_back(Message{self_, dst, tag, std::move(payload), bits});
+    }
+  }
+
+  void send(Message msg) {
+    KMM_CHECK_MSG(msg.src == self_, "a handler may only send as its own machine");
+    send(msg.dst, msg.tag, std::move(msg.payload), msg.bits);
+  }
+
+ private:
+  Cluster* cluster_;
+  std::vector<Message>* shard_;
+  MachineId self_;
+  MachineId k_;
+};
+
+}  // namespace kmm

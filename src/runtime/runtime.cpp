@@ -1,0 +1,82 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested, MachineId k) {
+  unsigned t = requested;
+  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  return std::min<unsigned>(t, k);
+}
+
+/// Adapter turning an ad-hoc handler into a MachineProgram.
+class FnProgram final : public MachineProgram {
+ public:
+  explicit FnProgram(const SuperstepFn& fn) noexcept : fn_(&fn) {}
+  void on_superstep(MachineId self, std::span<const Message> inbox, Outbox& out) override {
+    (*fn_)(self, inbox, out);
+  }
+
+ private:
+  const SuperstepFn* fn_;
+};
+
+}  // namespace
+
+Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
+    : cluster_(&cluster), threads_(resolve_threads(config.threads, cluster.k())) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+    shards_.resize(cluster_->k());
+  }
+}
+
+Runtime::~Runtime() = default;
+
+std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
+  const MachineId k = cluster_->k();
+  if (pool_ == nullptr || mode == StepMode::kInline) {
+    // Sequential path: handlers write directly into the cluster outbox in
+    // machine order — the legacy "for each machine, compute and send" loop.
+    for (MachineId i = 0; i < k; ++i) {
+      Outbox out(*cluster_, i);
+      program.on_superstep(i, cluster_->inbox(i), out);
+    }
+    return cluster_->superstep();
+  }
+  // Parallel path: every handler owns shard i; inboxes are read-only until
+  // the barrier, and the merge below restores the sequential global order.
+  pool_->parallel_for(k, [&](std::size_t i) {
+    const auto self = static_cast<MachineId>(i);
+    shards_[i].clear();
+    Outbox out(shards_[i], self, k);
+    program.on_superstep(self, cluster_->inbox(self), out);
+  });
+  for (MachineId i = 0; i < k; ++i) {
+    cluster_->enqueue_batch(std::move(shards_[i]));
+  }
+  return cluster_->superstep();
+}
+
+std::uint64_t Runtime::step(const SuperstepFn& fn, StepMode mode) {
+  FnProgram program(fn);
+  return step(program, mode);
+}
+
+std::uint64_t Runtime::run(MachineProgram& program, std::uint64_t max_supersteps) {
+  std::uint64_t rounds = 0;
+  for (std::uint64_t s = 0; s < max_supersteps; ++s) {
+    if (program.done()) return rounds;
+    rounds += step(program);
+  }
+  KMM_CHECK_MSG(program.done(), "program exhausted its superstep budget");
+  return rounds;
+}
+
+}  // namespace kmm

@@ -1,0 +1,94 @@
+#pragma once
+// Thread-parallel superstep driver for the k-machine simulator.
+//
+// The sequential Cluster charges rounds by the most-loaded link, but
+// executing all k machines' local computation on one thread makes wall-clock
+// time scale with *total* work. The Runtime closes that gap: it runs the k
+// per-machine handlers of a superstep on a worker pool, each writing to a
+// private per-source outbox shard, then — after a barrier — merges the
+// shards in ascending machine order and delivers through the one shared
+// accounting path, Cluster::superstep().
+//
+// Invariant (tested by tests/test_runtime.cpp): the ClusterStats ledger —
+// rounds, supersteps, messages, bits, per-link maxima, per-machine traffic,
+// cut bits — is bit-identical for every thread count, including the
+// sequential threads=1 path, because
+//   * shard merge order (machine 0, 1, ..., k-1; per-machine send order
+//     preserved) equals the sequential global send order, and
+//   * all delivery/accounting lives in Cluster::superstep(), which both
+//     paths share.
+//
+// threads semantics: 1 = sequential in-line execution (no pool, handlers
+// write directly into the cluster outbox); 0 = hardware concurrency; any
+// value is clamped to k (more workers than machines cannot help).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "runtime/machine_program.hpp"
+#include "runtime/outbox.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace kmm {
+
+struct RuntimeConfig {
+  /// Worker threads for per-machine local computation. 1 = sequential,
+  /// 0 = std::thread::hardware_concurrency(), clamped to the cluster's k.
+  unsigned threads = 1;
+};
+
+/// Signature of an ad-hoc superstep handler (see Runtime::step overload).
+using SuperstepFn = std::function<void(MachineId, std::span<const Message>, Outbox&)>;
+
+/// Per-step execution choice. Because the sharded-merge order equals the
+/// sequential order and all accounting is shared, the two modes are
+/// observationally identical — a program may pick per step without
+/// affecting results or the ledger. kInline skips the pool dispatch and is
+/// the right call for control-plane steps (applying one-word directives,
+/// counter updates) whose handler work is far below the barrier cost.
+enum class StepMode {
+  kParallel,  // use the worker pool when threads > 1
+  kInline,    // always run handlers sequentially on the calling thread
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Cluster& cluster, RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
+  [[nodiscard]] MachineId k() const noexcept { return cluster_->k(); }
+  /// Effective concurrency after resolving 0 and clamping to k.
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Execute one superstep of `program` across all machines (concurrently
+  /// when threads > 1 and mode is kParallel), then deliver via
+  /// Cluster::superstep(). Returns the rounds charged. A superstep in which
+  /// no handler sends is free, exactly like an empty sequential superstep.
+  std::uint64_t step(MachineProgram& program, StepMode mode = StepMode::kParallel);
+
+  /// Same, with an ad-hoc handler — the porting seam for algorithms written
+  /// as explicit superstep sequences rather than one monolithic state
+  /// machine (the Borůvka engine drives one of these per protocol segment).
+  std::uint64_t step(const SuperstepFn& fn, StepMode mode = StepMode::kParallel);
+
+  /// Drive `program` until program.done() or `max_supersteps` steps.
+  /// Returns total rounds charged.
+  std::uint64_t run(MachineProgram& program, std::uint64_t max_supersteps = 1u << 20);
+
+ private:
+  Cluster* cluster_;
+  unsigned threads_;
+  std::unique_ptr<ThreadPool> pool_;          // null when threads_ == 1
+  std::vector<std::vector<Message>> shards_;  // per-source buffers, reused
+};
+
+}  // namespace kmm

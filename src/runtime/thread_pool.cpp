@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+ThreadPool::ThreadPool(unsigned total_threads) {
+  KMM_CHECK_MSG(total_threads >= 1, "a pool needs at least the calling thread");
+  workers_.reserve(total_threads - 1);
+  for (unsigned i = 0; i + 1 < total_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      generation = generation_;
+    }
+    seen = generation;
+    run_tasks(generation);
+  }
+}
+
+void ThreadPool::run_tasks(std::uint64_t generation) {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // A stale worker (woken late, its generation already drained and
+      // replaced) must not claim into the new index space.
+      if (generation_ != generation || next_ >= count_) return;
+      index = next_++;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KMM_CHECK_MSG(remaining_ == 0, "parallel_for is not reentrant");
+    job_ = &fn;
+    count_ = count;
+    next_ = 0;
+    remaining_ = count;
+    error_ = nullptr;
+    generation = ++generation_;
+  }
+  work_cv_.notify_all();
+  run_tasks(generation);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace kmm

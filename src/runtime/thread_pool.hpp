@@ -1,0 +1,68 @@
+#pragma once
+// Barrier-style worker pool for the parallel superstep runtime.
+//
+// parallel_for(count, fn) invokes fn(i) for every i in [0, count) across the
+// pool and returns only when all invocations have completed — the barrier
+// the superstep model needs between "compute" and "deliver". The calling
+// thread participates as one worker, so ThreadPool(t) spawns t-1 threads and
+// ThreadPool(1) runs everything inline on the caller.
+//
+// Task indices are claimed under a mutex: the per-task work in this codebase
+// (sketching a machine's vertex parts, merging proxy records) dwarfs a lock
+// acquisition, and mutex claiming makes generation handover races — a stale
+// worker claiming into the next parallel_for's index space — impossible by
+// construction.
+//
+// The first exception thrown by any task is captured and rethrown on the
+// calling thread after the barrier; remaining tasks still run.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kmm {
+
+class ThreadPool {
+ public:
+  /// `total_threads` is the total concurrency including the calling thread
+  /// (must be >= 1); the pool spawns total_threads - 1 workers.
+  explicit ThreadPool(unsigned total_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + caller).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run fn(0), ..., fn(count - 1) across the pool; blocks until every
+  /// invocation finished. Not reentrant: fn must not call parallel_for on
+  /// the same pool.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_tasks(std::uint64_t generation);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a new generation is ready
+  std::condition_variable done_cv_;  // caller: all tasks of the generation done
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mutex_
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace kmm

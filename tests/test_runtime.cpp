@@ -1,0 +1,294 @@
+// The parallel superstep runtime: thread pool, MachineProgram execution,
+// and the central invariant that results AND the full cluster ledger are
+// bit-identical for every thread count (threads ∈ {1, 2, 8}) and equal to
+// the sequential path, on path / gnm / rmat inputs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "kmm.hpp"
+
+namespace kmm {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyGenerations) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(16, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50u * (15 * 16 / 2));
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   if (i == 17) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must still be usable after an exceptional generation.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+// ------------------------------------------------------------ MachineProgram
+
+// Every machine forwards an accumulating value one position around the ring
+// each superstep; the trajectory is fully deterministic, so any scheduling
+// nondeterminism in the runtime would show up as a wrong final state.
+class ShiftSumProgram final : public MachineProgram {
+ public:
+  ShiftSumProgram(MachineId k, int total_supersteps)
+      : k_(k), total_(total_supersteps), value_(k), calls_(k, 0) {
+    std::iota(value_.begin(), value_.end(), 0);
+  }
+
+  void on_superstep(MachineId self, std::span<const Message> inbox, Outbox& out) override {
+    for (const auto& msg : inbox) value_[self] = msg.payload.at(0) + self;
+    if (calls_[self] < total_) {
+      out.send((self + 1) % k_, /*tag=*/1, {value_[self]}, 8);
+    }
+    ++calls_[self];
+  }
+
+  // Done once the superstep after the last send has consumed the final
+  // deliveries (that trailing superstep carries no messages, so it's free).
+  [[nodiscard]] bool done() const override { return calls_[0] > total_; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const { return value_; }
+
+ private:
+  MachineId k_;
+  int total_;
+  std::vector<std::uint64_t> value_;
+  std::vector<int> calls_;
+};
+
+std::vector<std::uint64_t> reference_shift_sum(MachineId k, int total) {
+  std::vector<std::uint64_t> value(k);
+  std::iota(value.begin(), value.end(), 0);
+  for (int s = 0; s < total; ++s) {
+    std::vector<std::uint64_t> next(k);
+    for (MachineId i = 0; i < k; ++i) next[(i + 1) % k] = value[i] + (i + 1) % k;
+    value = next;
+  }
+  return value;
+}
+
+TEST(Runtime, MachineProgramMatchesReferenceSequential) {
+  Cluster cluster(ClusterConfig{.k = 6, .bandwidth_bits = 64});
+  Runtime rt(cluster, RuntimeConfig{.threads = 1});
+  EXPECT_EQ(rt.threads(), 1u);
+  ShiftSumProgram prog(6, 10);
+  rt.run(prog, 64);
+  EXPECT_EQ(prog.values(), reference_shift_sum(6, 10));
+  // Exactly the 10 shifting supersteps deliver; the drain step is free.
+  EXPECT_EQ(cluster.stats().supersteps, 10u);
+}
+
+TEST(Runtime, MachineProgramMatchesReferenceParallel) {
+  Cluster cluster(ClusterConfig{.k = 6, .bandwidth_bits = 64});
+  Runtime rt(cluster, RuntimeConfig{.threads = 4});
+  EXPECT_EQ(rt.threads(), 4u);
+  ShiftSumProgram prog(6, 10);
+  rt.run(prog, 64);
+  EXPECT_EQ(prog.values(), reference_shift_sum(6, 10));
+}
+
+TEST(Runtime, ThreadsZeroResolvesToHardwareClampedToK) {
+  Cluster cluster(ClusterConfig{.k = 2, .bandwidth_bits = 64});
+  Runtime rt(cluster, RuntimeConfig{.threads = 0});
+  EXPECT_GE(rt.threads(), 1u);
+  EXPECT_LE(rt.threads(), 2u);
+}
+
+TEST(Runtime, InlineStepModeMatchesParallel) {
+  // The per-step execution mode is observationally invisible: same inbox
+  // contents, same ledger.
+  auto run = [](StepMode mode) {
+    Cluster cluster(ClusterConfig{.k = 5, .bandwidth_bits = 64});
+    Runtime rt(cluster, RuntimeConfig{.threads = 4});
+    ShiftSumProgram prog(5, 7);
+    while (!prog.done()) rt.step(prog, mode);
+    return std::pair{prog.values(), cluster.stats().rounds};
+  };
+  const auto parallel = run(StepMode::kParallel);
+  const auto inline_ = run(StepMode::kInline);
+  EXPECT_EQ(parallel.first, inline_.first);
+  EXPECT_EQ(parallel.second, inline_.second);
+  EXPECT_EQ(parallel.first, reference_shift_sum(5, 7));
+}
+
+TEST(Runtime, SilentSuperstepIsFree) {
+  Cluster cluster(ClusterConfig{.k = 4, .bandwidth_bits = 64});
+  Runtime rt(cluster, RuntimeConfig{.threads = 2});
+  const auto rounds = rt.step([](MachineId, std::span<const Message>, Outbox&) {});
+  EXPECT_EQ(rounds, 0u);
+  EXPECT_EQ(cluster.stats().supersteps, 0u);
+  EXPECT_EQ(cluster.stats().rounds, 0u);
+}
+
+// ------------------------------------------------- ledger thread-invariance
+
+void expect_stats_identical(const ClusterStats& a, const ClusterStats& b,
+                            const char* what) {
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.supersteps, b.supersteps) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.local_messages, b.local_messages) << what;
+  EXPECT_EQ(a.total_bits, b.total_bits) << what;
+  EXPECT_EQ(a.max_link_bits, b.max_link_bits) << what;
+  EXPECT_EQ(a.cut_bits, b.cut_bits) << what;
+  EXPECT_EQ(a.sent_bits_by_machine, b.sent_bits_by_machine) << what;
+  EXPECT_EQ(a.received_bits_by_machine, b.received_bits_by_machine) << what;
+  EXPECT_EQ(a.superstep_link_max.count(), b.superstep_link_max.count()) << what;
+  EXPECT_DOUBLE_EQ(a.superstep_link_max.mean(), b.superstep_link_max.mean()) << what;
+  EXPECT_DOUBLE_EQ(a.superstep_link_max.min(), b.superstep_link_max.min()) << what;
+  EXPECT_DOUBLE_EQ(a.superstep_link_max.max(), b.superstep_link_max.max()) << what;
+}
+
+struct LedgeredRun {
+  BoruvkaResult result;
+  ClusterStats cluster_stats;
+};
+
+LedgeredRun run_connectivity_with_threads(const Graph& g, MachineId k, unsigned threads) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, 99));
+  BoruvkaConfig cfg{.seed = 1234};
+  cfg.threads = threads;
+  auto result = connected_components(cluster, dg, cfg);
+  return LedgeredRun{std::move(result), cluster.stats()};
+}
+
+LedgeredRun run_mst_with_threads(const Graph& g, MachineId k, unsigned threads) {
+  Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, 99));
+  BoruvkaConfig cfg{.seed = 4321};
+  cfg.threads = threads;
+  auto result = minimum_spanning_forest(cluster, dg, cfg);
+  return LedgeredRun{std::move(result), cluster.stats()};
+}
+
+std::vector<Graph> determinism_inputs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(600));
+  Rng rng_gnm(7);
+  graphs.push_back(gen::gnm(800, 2400, rng_gnm));
+  Rng rng_rmat(11);
+  graphs.push_back(gen::rmat(1024, 3000, rng_rmat));
+  return graphs;
+}
+
+constexpr const char* kInputNames[] = {"path", "gnm", "rmat"};
+
+TEST(RuntimeDeterminism, ConnectivityLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto baseline = run_connectivity_with_threads(graphs[gi], 8, 1);
+    // Sequential run must also be correct, not merely self-consistent.
+    EXPECT_EQ(canonical_labels(baseline.result.labels),
+              ref::component_labels(graphs[gi]))
+        << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      const auto run = run_connectivity_with_threads(graphs[gi], 8, threads);
+      EXPECT_EQ(run.result.labels, baseline.result.labels)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.result.num_components, baseline.result.num_components)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.result.forest_edges(), baseline.result.forest_edges())
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.result.phases.size(), baseline.result.phases.size())
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.result.sampler_retries, baseline.result.sampler_retries)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(run.cluster_stats, baseline.cluster_stats, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, MstLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    Rng wrng(split(17, gi));
+    const Graph g = with_unique_weights(with_random_weights(graphs[gi], wrng, 100000));
+    const auto baseline = run_mst_with_threads(g, 8, 1);
+    Weight total = 0;
+    for (const auto& e : baseline.result.mst_edges()) total += e.w;
+    EXPECT_EQ(total, ref::msf_weight(g)) << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      const auto run = run_mst_with_threads(g, 8, threads);
+      EXPECT_EQ(run.result.mst_edges(), baseline.result.mst_edges())
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.result.labels, baseline.result.labels)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(run.cluster_stats, baseline.cluster_stats, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, CutBitsTrackedIdenticallyAcrossThreadCounts) {
+  Rng rng(23);
+  const Graph g = gen::gnm(400, 1200, rng);
+  auto run_with_cut = [&](unsigned threads) {
+    Cluster cluster(ClusterConfig::for_graph(400, 8));
+    std::vector<std::uint8_t> side(8, 0);
+    for (MachineId i = 4; i < 8; ++i) side[i] = 1;
+    cluster.track_cut(side);
+    const DistributedGraph dg(g, VertexPartition::random(400, 8, 5));
+    BoruvkaConfig cfg{.seed = 77};
+    cfg.threads = threads;
+    (void)connected_components(cluster, dg, cfg);
+    return cluster.stats();
+  };
+  const auto seq = run_with_cut(1);
+  EXPECT_GT(seq.cut_bits, 0u);
+  expect_stats_identical(run_with_cut(2), seq, "cut threads=2");
+  expect_stats_identical(run_with_cut(8), seq, "cut threads=8");
+}
+
+// gen::rmat sanity so the determinism inputs mean what they claim.
+TEST(RmatGenerator, DeterministicSkewedAndInRange) {
+  Rng a(3), b(3);
+  const Graph g1 = gen::rmat(512, 1500, a);
+  const Graph g2 = gen::rmat(512, 1500, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_GT(g1.num_edges(), 1000u);  // most attempts land (sparse regime)
+  EXPECT_EQ(g1.num_vertices(), 512u);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < 512; ++v) max_deg = std::max(max_deg, g1.neighbors(v).size());
+  // Skew: the hottest vertex far exceeds the average degree.
+  EXPECT_GE(max_deg, 4 * (2 * g1.num_edges() / 512));
+}
+
+}  // namespace
+}  // namespace kmm
