@@ -33,6 +33,34 @@ struct TimedResult {
   double wall_ms = 0.0;
 };
 
+/// Algorithm-agnostic flavor of TimedResult for the non-Borůvka entry
+/// points (flooding, referee, min-cut, verification, REP baselines): just
+/// the RunStats ledger delta plus wall-clock, with an optional phase count
+/// for algorithms that have one.
+struct TimedStats {
+  RunStats stats;
+  std::size_t phases = 0;
+  double wall_ms = 0.0;
+};
+
+/// Time `fn()` (which must return something carrying .stats) into a
+/// TimedStats record; `phases_of` extracts the phase count from the result
+/// (BoruvkaResult::phases, MinCutResult::levels, ...).
+template <typename Fn, typename PhasesOf>
+TimedStats time_stats(const Fn& fn, const PhasesOf& phases_of) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return TimedStats{result.stats, phases_of(result),
+                    std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+/// Same, for algorithms with no phase notion (phases = 0).
+template <typename Fn>
+TimedStats time_stats(const Fn& fn) {
+  return time_stats(fn, [](const auto&) { return std::size_t{0}; });
+}
+
 /// One standard connectivity run; returns the full result (stats included).
 inline BoruvkaResult run_connectivity(const Graph& g, MachineId k, std::uint64_t seed,
                                       unsigned threads = 1) {
@@ -83,8 +111,12 @@ class BenchJson {
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
 
+  /// Schema shared by every bench: one flat object per run. Non-Borůvka
+  /// algorithms record through the RunStats overload (phases = 0 when the
+  /// algorithm has no phase notion).
   void record(const char* family, std::size_t n, std::size_t m, MachineId k,
-              unsigned threads, const BoruvkaResult& res, double wall_ms) {
+              unsigned threads, const RunStats& stats, std::size_t phases,
+              double wall_ms) {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
@@ -92,12 +124,16 @@ class BenchJson {
                   "\"bits\": %llu, \"supersteps\": %llu, \"phases\": %zu, "
                   "\"wall_ms\": %.3f}",
                   family, n, m, k, threads,
-                  static_cast<unsigned long long>(res.stats.rounds),
-                  static_cast<unsigned long long>(res.stats.messages),
-                  static_cast<unsigned long long>(res.stats.bits),
-                  static_cast<unsigned long long>(res.stats.supersteps),
-                  res.phases.size(), wall_ms);
+                  static_cast<unsigned long long>(stats.rounds),
+                  static_cast<unsigned long long>(stats.messages),
+                  static_cast<unsigned long long>(stats.bits),
+                  static_cast<unsigned long long>(stats.supersteps), phases, wall_ms);
     records_.emplace_back(buf);
+  }
+
+  void record(const char* family, std::size_t n, std::size_t m, MachineId k,
+              unsigned threads, const BoruvkaResult& res, double wall_ms) {
+    record(family, n, m, k, threads, res.stats, res.phases.size(), wall_ms);
   }
 
   ~BenchJson() {
@@ -131,9 +167,9 @@ inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'0
 /// invariant (the simulated round count must not depend on the thread
 /// count). Returns false — after printing a LEDGER MISMATCH line — if the
 /// invariant is violated, so benches can exit nonzero.
-inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m, MachineId k,
-                               BenchJson& json,
-                               const std::function<TimedResult(unsigned)>& runner) {
+inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::size_t m,
+                                     MachineId k, BenchJson& json,
+                                     const std::function<TimedStats(unsigned)>& runner) {
   std::printf("%8s %10s %9s %9s\n", "threads", "rounds", "wall_ms", "speedup");
   double base_ms = 0.0;
   std::uint64_t base_rounds = 0;
@@ -141,18 +177,28 @@ inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m,
     const auto timed = runner(threads);
     if (threads == 1) {
       base_ms = timed.wall_ms;
-      base_rounds = timed.result.stats.rounds;
+      base_rounds = timed.stats.rounds;
     }
     std::printf("%8u %10llu %9.1f %8.2fx\n", threads,
-                static_cast<unsigned long long>(timed.result.stats.rounds), timed.wall_ms,
+                static_cast<unsigned long long>(timed.stats.rounds), timed.wall_ms,
                 base_ms / timed.wall_ms);
-    if (timed.result.stats.rounds != base_rounds) {
+    if (timed.stats.rounds != base_rounds) {
       std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
       return false;
     }
-    json.record(family, n, m, k, threads, timed.result, timed.wall_ms);
+    json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms);
   }
   return true;
+}
+
+inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m, MachineId k,
+                               BenchJson& json,
+                               const std::function<TimedResult(unsigned)>& runner) {
+  return run_thread_scaling_stats(
+      family, n, m, k, json, [&](unsigned threads) {
+        const auto timed = runner(threads);
+        return TimedStats{timed.result.stats, timed.result.phases.size(), timed.wall_ms};
+      });
 }
 
 /// log-log slope of rounds against k (the paper predicts ~ -2 for the

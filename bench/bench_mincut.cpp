@@ -12,6 +12,7 @@ using namespace kmmbench;
 int main() {
   banner("E5: approximate min-cut (Theorem 3)",
          "O(log n)-approximation, O~(n/k^2) rounds");
+  BenchJson json("mincut");
 
   const std::size_t n = 512;
   const std::vector<std::size_t> lambdas{1, 2, 4, 8, 16, 32};
@@ -26,12 +27,16 @@ int main() {
       const DistributedGraph dg(g, VertexPartition::random(n, k, split(53, lambda)));
       MinCutConfig cfg;
       cfg.seed = split(55, lambda * 100 + k);
+      const auto t0 = std::chrono::steady_clock::now();
       const auto res = approximate_min_cut(cluster, dg, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
       std::printf("%6zu %8zu %10llu %10.2f %8d %10llu %8u\n", n, lambda,
                   static_cast<unsigned long long>(res.estimate),
                   static_cast<double>(res.estimate) / static_cast<double>(lambda),
                   res.disconnect_level, static_cast<unsigned long long>(res.stats.rounds),
                   k);
+      json.record("dumbbell", n, g.num_edges(), k, 1, res.stats, res.levels.size(),
+                  std::chrono::duration<double, std::milli>(t1 - t0).count());
     }
   }
   std::printf("\nO(log n) band: ratios must stay within [1/(8 log2 n), 8 log2 n] = "
@@ -56,5 +61,28 @@ int main() {
     rounds.push_back(static_cast<double>(res.stats.rounds));
   }
   print_slope("min-cut rounds vs k (~ -2)", kd, rounds);
+
+  // Runtime thread scaling: the whole sampling sweep runs its inner
+  // connectivity instances on the parallel runtime (MinCutConfig::threads).
+  // The simulated ledger is thread-invariant; only the wall-clock of the
+  // simulation changes (requires actual cores to show > 1x).
+  std::printf("\nruntime thread scaling, dumbbell(n=4096, lambda=8), k=16:\n");
+  {
+    const std::size_t big_n = 4096;
+    Rng rng(63);
+    const Graph g = gen::dumbbell(big_n, 8, rng);
+    if (!run_thread_scaling_stats(
+            "dumbbell-threads", big_n, g.num_edges(), 16, json, [&](unsigned threads) {
+              Cluster cluster(ClusterConfig::for_graph(big_n, 16));
+              const DistributedGraph dg(g, VertexPartition::random(big_n, 16, 65));
+              MinCutConfig cfg;
+              cfg.seed = 67;
+              cfg.threads = threads;
+              return time_stats([&] { return approximate_min_cut(cluster, dg, cfg); },
+                                [](const auto& r) { return r.levels.size(); });
+            })) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
          "SCS, cut, s-t connectivity, edge-on-all-paths, s-t cut, cycle, "
          "e-cycle, bipartiteness — all O~(n/k^2) rounds");
 
+  BenchJson json("verification");
   const std::size_t n = 1024;
   Rng rng(71);
   const Graph connected = gen::connected_gnm(n, 3 * n, rng);
@@ -114,7 +115,9 @@ int main() {
       Cluster cluster(ClusterConfig::for_graph(graph->num_vertices(), k));
       const DistributedGraph dg(
           *graph, VertexPartition::random(graph->num_vertices(), k, split(79, k)));
+      const auto t0 = std::chrono::steady_clock::now();
       const auto res = problem.run(cluster, dg);
+      const auto t1 = std::chrono::steady_clock::now();
       const bool ok = res.ok == problem.expected_yes;
       all_ok &= ok;
       std::printf("%-28s %4u %8s %10llu %10.1f%s\n", problem.name, k,
@@ -122,8 +125,32 @@ int main() {
                   static_cast<double>(res.stats.rounds) * k * k /
                       static_cast<double>(graph->num_vertices()),
                   ok ? "" : "   <-- WRONG VERDICT");
+      json.record(problem.name, graph->num_vertices(), graph->num_edges(), k, 1, res.stats,
+                  0, std::chrono::duration<double, std::milli>(t1 - t0).count());
     }
   }
   std::printf("\nall verdicts correct: %s\n", all_ok ? "yes" : "NO");
+
+  // Runtime thread scaling: every verifier reduces to connectivity runs on
+  // the parallel runtime (BoruvkaConfig::threads). Bipartiteness is the
+  // heaviest reduction (two full connectivity runs, one on the 2n-vertex
+  // double cover), so it is the scaling probe. The ledger must stay
+  // thread-invariant; only wall-clock may change.
+  std::printf("\nruntime thread scaling, bipartiteness on gnm(8192, 3n), k=16:\n");
+  {
+    const std::size_t big_n = 8192;
+    Rng srng(83);
+    const Graph g = gen::connected_gnm(big_n, 3 * big_n, srng);
+    if (!run_thread_scaling_stats(
+            "bipartite-threads", big_n, g.num_edges(), 16, json, [&](unsigned threads) {
+              Cluster cluster(ClusterConfig::for_graph(big_n, 16));
+              const DistributedGraph dg(g, VertexPartition::random(big_n, 16, 85));
+              BoruvkaConfig vcfg{.seed = 87};
+              vcfg.threads = threads;
+              return time_stats([&] { return verify_bipartiteness(cluster, dg, vcfg); });
+            })) {
+      return 1;
+    }
+  }
   return all_ok ? 0 : 1;
 }

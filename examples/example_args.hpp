@@ -1,0 +1,48 @@
+#pragma once
+// Shared argv handling for the small example CLIs: positional arguments
+// plus a `--threads T` flag (the runtime's worker-thread count; 0 = use
+// hardware concurrency). kmachine_cli has a richer flag set and keeps its
+// own parser.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace kmmex {
+
+struct ExampleArgs {
+  unsigned threads = 1;
+  std::vector<const char*> pos;
+
+  /// pos[i] as an integer, or `fallback` when absent.
+  [[nodiscard]] unsigned long long pos_u64(std::size_t i, unsigned long long fallback) const {
+    return i < pos.size() ? std::strtoull(pos[i], nullptr, 10) : fallback;
+  }
+};
+
+inline ExampleArgs parse_example_args(int argc, char** argv) {
+  ExampleArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      // A trailing valueless --threads is ignored rather than misread as a
+      // positional argument; a non-numeric value keeps the default instead
+      // of silently parsing to 0 (= all hardware threads).
+      if (i + 1 < argc) {
+        const char* value = argv[++i];
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(value, &end, 10);
+        if (end != value && *end == '\0') {
+          args.threads = static_cast<unsigned>(parsed);
+        } else {
+          std::fprintf(stderr, "ignoring non-numeric --threads value '%s'\n", value);
+        }
+      }
+    } else {
+      args.pos.push_back(argv[i]);
+    }
+  }
+  return args;
+}
+
+}  // namespace kmmex

@@ -172,18 +172,15 @@ int main(int argc, char** argv) {
   acfg.merge_rule = opt.coinflip ? MergeRule::kCoinFlip : MergeRule::kDrr;
   acfg.threads = opt.threads;
   if (opt.threads != 1) {
-    // Only the Borůvka-backed algorithms consume BoruvkaConfig::threads.
-    const bool threaded_algo = opt.algo == "conn" || opt.algo == "mst" ||
-                               opt.algo == "2ec" || opt.algo == "bipartite";
-    if (threaded_algo) {
-      std::printf("runtime threads=%u\n", opt.threads);
-    } else {
-      std::printf("note: --threads is ignored for algo '%s'\n", opt.algo.c_str());
-    }
+    std::printf("runtime threads: %u requested -> %u effective\n", opt.threads,
+                resolve_threads(opt.threads, opt.k));
   }
 
   if (opt.algo == "leader") {
-    const auto res = elect_leader(cluster, acfg.seed);
+    LeaderElectionConfig lcfg;
+    lcfg.seed = acfg.seed;
+    lcfg.threads = opt.threads;
+    const auto res = elect_leader(cluster, lcfg);
     std::printf("leader: machine %u\n", res.leader);
     print_stats("leader", res.stats);
     return 0;
@@ -219,18 +216,23 @@ int main(int argc, char** argv) {
       return ok ? 0 : 1;
     }
   } else if (opt.algo == "flood") {
-    const auto res = flooding_connectivity(cluster, dg);
+    FloodingConfig fcfg;
+    fcfg.threads = opt.threads;
+    const auto res = flooding_connectivity(cluster, dg, fcfg);
     std::printf("components=%llu supersteps=%llu\n",
                 static_cast<unsigned long long>(res.num_components),
                 static_cast<unsigned long long>(res.supersteps));
     print_stats("flood", res.stats);
   } else if (opt.algo == "referee") {
-    const auto res = referee_connectivity(cluster, dg);
+    RefereeConfig rcfg;
+    rcfg.threads = opt.threads;
+    const auto res = referee_connectivity(cluster, dg, rcfg);
     std::printf("components=%llu\n", static_cast<unsigned long long>(res.num_components));
     print_stats("referee", res.stats);
   } else if (opt.algo == "mincut") {
     MinCutConfig mcfg;
     mcfg.seed = acfg.seed;
+    mcfg.threads = opt.threads;
     const auto res = approximate_min_cut(cluster, dg, mcfg);
     std::printf("estimate=%llu disconnect_level=%d connected=%s\n",
                 static_cast<unsigned long long>(res.estimate), res.disconnect_level,

@@ -5,21 +5,25 @@
 // trunk count by sampling-and-testing connectivity — all in O~(n/k^2)
 // rounds — and we compare against the exact Stoer–Wagner value.
 //
-//   ./network_reliability [n] [k]
+//   ./network_reliability [n] [k] [--threads T]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hpp"
 #include "kmm.hpp"
 
 int main(int argc, char** argv) {
   using namespace kmm;
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
-  const MachineId k =
-      argc > 2 ? static_cast<MachineId>(std::strtoul(argv[2], nullptr, 10)) : 8;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const unsigned threads = args.threads;
+  const std::size_t n = args.pos_u64(0, 128);
+  const MachineId k = static_cast<MachineId>(args.pos_u64(1, 8));
 
-  std::printf("%8s %10s %10s %8s %10s\n", "trunks", "estimate", "exact", "ratio",
-              "rounds");
+  std::printf("runtime threads: %u requested -> %u effective (k = %u)\n\n", threads,
+              resolve_threads(threads, k), k);
+  std::printf("%8s %10s %10s %8s %10s %12s\n", "trunks", "estimate", "exact", "ratio",
+              "rounds", "bits");
   for (const std::size_t trunks : {std::size_t{2}, std::size_t{6}, std::size_t{18}}) {
     Rng rng(split(17, trunks));
     const Graph g = gen::dumbbell(n, trunks, rng);
@@ -29,13 +33,15 @@ int main(int argc, char** argv) {
     const DistributedGraph dg(g, VertexPartition::random(n, k, split(19, trunks)));
     MinCutConfig config;
     config.seed = split(23, trunks);
+    config.threads = threads;
     const auto result = approximate_min_cut(cluster, dg, config);
 
-    std::printf("%8zu %10llu %10llu %8.2f %10llu\n", trunks,
+    std::printf("%8zu %10llu %10llu %8.2f %10llu %12llu\n", trunks,
                 static_cast<unsigned long long>(result.estimate),
                 static_cast<unsigned long long>(exact),
                 static_cast<double>(result.estimate) / static_cast<double>(exact),
-                static_cast<unsigned long long>(result.stats.rounds));
+                static_cast<unsigned long long>(result.stats.rounds),
+                static_cast<unsigned long long>(result.stats.bits));
   }
   std::printf("\nEstimates are O(log n)-approximate (Theorem 3): they expose the\n"
               "difference between a 2-trunk and an 18-trunk interconnect without\n"

@@ -5,19 +5,21 @@
 // (relaxed output: each chosen road segment is known to at least one
 // machine) and validate cost and structure against Kruskal.
 //
-//   ./road_network_mst [rows] [cols] [k]
+//   ./road_network_mst [rows] [cols] [k] [--threads T]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hpp"
 #include "kmm.hpp"
 
 int main(int argc, char** argv) {
   using namespace kmm;
-  const std::size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 48;
-  const std::size_t cols = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 48;
-  const MachineId k =
-      argc > 3 ? static_cast<MachineId>(std::strtoul(argv[3], nullptr, 10)) : 8;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const unsigned threads = args.threads;
+  const std::size_t rows = args.pos_u64(0, 48);
+  const std::size_t cols = args.pos_u64(1, 48);
+  const MachineId k = static_cast<MachineId>(args.pos_u64(2, 8));
   const std::size_t n = rows * cols;
 
   // Grid road network with random construction costs; a few diagonal
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
   const DistributedGraph dg(g, VertexPartition::random(n, k, 31));
   BoruvkaConfig config;
   config.seed = 999;
+  config.threads = threads;
+  std::printf("runtime threads: %u requested -> %u effective (k = %u)\n", threads,
+              resolve_threads(threads, k), k);
   const auto result = minimum_spanning_forest(cluster, dg, config);
 
   Weight total = 0;
@@ -50,9 +55,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(expected),
               total == expected ? "exact match" : "MISMATCH");
 
-  std::printf("\nk-machine cost: %llu rounds over %zu Boruvka phases "
+  std::printf("\nk-machine cost: %llu rounds, %llu bits over %zu Boruvka phases "
               "(MWOE confirmed by empty restricted sketches)\n",
-              static_cast<unsigned long long>(result.stats.rounds), result.phases.size());
+              static_cast<unsigned long long>(result.stats.rounds),
+              static_cast<unsigned long long>(result.stats.bits), result.phases.size());
 
   // Which machines know which backbone segments (relaxed output criterion).
   std::printf("segments recorded per machine:");

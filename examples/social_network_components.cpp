@@ -6,16 +6,19 @@
 // would run, and report how the two scale when machines are added — the
 // question the k-machine model was built to answer.
 //
-//   ./social_network_components [n]
+//   ./social_network_components [n] [--threads T]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hpp"
 #include "kmm.hpp"
 
 int main(int argc, char** argv) {
   using namespace kmm;
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const unsigned threads = args.threads;
+  const std::size_t n = args.pos_u64(0, 4000);
 
   Rng rng(1234);
   // 25 communities of ~n/25 users; a handful of bridge friendships join
@@ -24,8 +27,10 @@ int main(int argc, char** argv) {
   std::printf("social graph: %zu users, %zu friendships, %zu groups\n", g.num_vertices(),
               g.num_edges(), ref::component_count(g));
 
-  std::printf("\n%6s %16s %16s %14s\n", "k", "sketch rounds", "flooding rounds",
-              "speedup vs k/2");
+  std::printf("\nruntime threads requested: %u (effective value is clamped to each k)\n",
+              threads);
+  std::printf("\n%6s %8s %16s %16s %14s %14s\n", "k", "threads", "sketch rounds",
+              "flooding rounds", "sketch bits", "speedup vs k/2");
   std::uint64_t prev_rounds = 0;
   for (const MachineId k : {MachineId{4}, MachineId{8}, MachineId{16}, MachineId{32}}) {
     const VertexPartition part = VertexPartition::random(n, k, 99);
@@ -34,20 +39,24 @@ int main(int argc, char** argv) {
     const DistributedGraph dg(g, part);
     BoruvkaConfig config;
     config.seed = 555;
+    config.threads = threads;
     const auto sketch = connected_components(sketch_cluster, dg, config);
 
     Cluster flood_cluster(ClusterConfig::for_graph(n, k));
     const DistributedGraph dg2(g, part);
-    const auto flood = flooding_connectivity(flood_cluster, dg2);
+    FloodingConfig flood_config;
+    flood_config.threads = threads;
+    const auto flood = flooding_connectivity(flood_cluster, dg2, flood_config);
 
     if (canonical_labels(sketch.labels) !=
         std::vector<Vertex>(flood.labels.begin(), flood.labels.end())) {
       std::printf("DISAGREEMENT between algorithms!\n");
       return 1;
     }
-    std::printf("%6u %16llu %16llu", k,
+    std::printf("%6u %8u %16llu %16llu %14llu", k, resolve_threads(threads, k),
                 static_cast<unsigned long long>(sketch.stats.rounds),
-                static_cast<unsigned long long>(flood.stats.rounds));
+                static_cast<unsigned long long>(flood.stats.rounds),
+                static_cast<unsigned long long>(sketch.stats.bits));
     if (prev_rounds != 0) {
       std::printf(" %13.1fx", static_cast<double>(prev_rounds) /
                                   static_cast<double>(sketch.stats.rounds));

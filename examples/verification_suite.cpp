@@ -4,18 +4,20 @@
 // a power grid (even-cycle ring of substations with tie-lines). Every
 // verifier reduces to the O~(n/k^2) connectivity algorithm.
 //
-//   ./verification_suite [n] [k]
+//   ./verification_suite [n] [k] [--threads T]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_args.hpp"
 #include "kmm.hpp"
 
 int main(int argc, char** argv) {
   using namespace kmm;
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
-  const MachineId k =
-      argc > 2 ? static_cast<MachineId>(std::strtoul(argv[2], nullptr, 10)) : 8;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const unsigned threads = args.threads;
+  const std::size_t n = args.pos_u64(0, 1024);
+  const MachineId k = static_cast<MachineId>(args.pos_u64(1, 8));
 
   // Power grid: a big ring (even cycle) plus tie-lines every 16 nodes.
   // Ties span 9 ring hops: odd span keeps the grid 2-colorable (a span-8
@@ -33,11 +35,16 @@ int main(int argc, char** argv) {
 
   Cluster cluster(ClusterConfig::for_graph(n, k));
   const DistributedGraph dg(g, VertexPartition::random(n, k, 77));
-  const BoruvkaConfig cfg{.seed = 88};
+  BoruvkaConfig cfg;
+  cfg.seed = 88;
+  cfg.threads = threads;
+  std::printf("runtime threads: %u requested -> %u effective (k = %u)\n\n", threads,
+              resolve_threads(threads, k), k);
 
   const auto report = [](const char* what, const VerifyResult& r) {
-    std::printf("%-44s %-5s (%llu rounds)\n", what, r.ok ? "yes" : "no",
-                static_cast<unsigned long long>(r.stats.rounds));
+    std::printf("%-44s %-5s (%llu rounds, %llu bits)\n", what, r.ok ? "yes" : "no",
+                static_cast<unsigned long long>(r.stats.rounds),
+                static_cast<unsigned long long>(r.stats.bits));
   };
 
   // A spanning tree of the grid is a spanning connected subgraph.

@@ -114,7 +114,7 @@ bool BoruvkaEngine::any_active_parts() {
       }
     }
   }
-  return or_reduce_broadcast(*cluster_, bit, kTagCtrlActive);
+  return or_reduce_broadcast(runtime_, bit, kTagCtrlActive);
 }
 
 void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& out,
@@ -379,7 +379,7 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
         }
       }
     }
-    if (!or_reduce_broadcast(*cluster_, busy, kTagCtrlElim)) return t;
+    if (!or_reduce_broadcast(runtime_, busy, kTagCtrlElim)) return t;
   }
 }
 
@@ -450,7 +450,7 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
         }
       }
     }
-    if (!or_reduce_broadcast(*cluster_, pending, kTagCtrlMerge)) break;
+    if (!or_reduce_broadcast(runtime_, pending, kTagCtrlMerge)) break;
     ++rho;
     KMM_CHECK_MSG(static_cast<int>(rho) < config_.max_merge_iterations,
                   "merge loop failed to converge");

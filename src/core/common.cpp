@@ -4,39 +4,57 @@
 
 namespace kmm {
 
-bool or_reduce_broadcast(Cluster& cluster, const std::vector<char>& machine_bit,
+// Both reducers are one-word control-plane exchanges: the handler work is a
+// few comparisons, far below the pool's barrier cost, so they always run
+// StepMode::kInline. The message sequence (including machine 0's free
+// self-report in the OR) is exactly the classic sequential loop's, so the
+// ledger is unchanged by the port.
+
+bool or_reduce_broadcast(Runtime& rt, const std::vector<char>& machine_bit,
                          std::uint32_t tag) {
-  const MachineId k = cluster.k();
+  const MachineId k = rt.k();
   KMM_CHECK(machine_bit.size() == k);
-  for (MachineId i = 0; i < k; ++i) {
-    if (machine_bit[i]) cluster.send(i, 0, tag, {}, 1);
-  }
-  cluster.superstep();
-  const bool any = !cluster.inbox(0).empty() || machine_bit[0];
-  for (MachineId i = 1; i < k; ++i) {
-    cluster.send(0, i, tag, {any ? 1ULL : 0ULL}, 1);
-  }
-  cluster.superstep();
+  rt.step(
+      [&](MachineId i, std::span<const Message>, Outbox& out) {
+        if (machine_bit[i]) out.send(0, tag, {}, 1);
+      },
+      StepMode::kInline);
+  bool any = false;
+  rt.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+        if (i != 0) return;
+        any = !inbox.empty() || machine_bit[0];
+        for (MachineId j = 1; j < k; ++j) {
+          out.send(j, tag, {any ? 1ULL : 0ULL}, 1);
+        }
+      },
+      StepMode::kInline);
   return any;
 }
 
-std::uint64_t sum_reduce_broadcast(Cluster& cluster,
+std::uint64_t sum_reduce_broadcast(Runtime& rt,
                                    const std::vector<std::uint64_t>& machine_value,
                                    std::uint32_t tag) {
-  const MachineId k = cluster.k();
+  const MachineId k = rt.k();
   KMM_CHECK(machine_value.size() == k);
-  for (MachineId i = 1; i < k; ++i) {
-    cluster.send(i, 0, tag, {machine_value[i]}, 64);
-  }
-  cluster.superstep();
-  std::uint64_t total = machine_value[0];
-  for (const auto& msg : cluster.inbox(0)) {
-    if (msg.tag == tag) total += msg.payload.at(0);
-  }
-  for (MachineId i = 1; i < k; ++i) {
-    cluster.send(0, i, tag, {total}, 64);
-  }
-  cluster.superstep();
+  rt.step(
+      [&](MachineId i, std::span<const Message>, Outbox& out) {
+        if (i != 0) out.send(0, tag, {machine_value[i]}, 64);
+      },
+      StepMode::kInline);
+  std::uint64_t total = 0;
+  rt.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+        if (i != 0) return;
+        total = machine_value[0];
+        for (const auto& msg : inbox) {
+          if (msg.tag == tag) total += msg.payload.at(0);
+        }
+        for (MachineId j = 1; j < k; ++j) {
+          out.send(j, tag, {total}, 64);
+        }
+      },
+      StepMode::kInline);
   return total;
 }
 

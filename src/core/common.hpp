@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/distributed_graph.hpp"
+#include "runtime/runtime.hpp"
 
 namespace kmm {
 
@@ -46,12 +47,13 @@ class StatsScope {
 /// have work?"). Machines with a set bit report to M1 (machine 0), which
 /// broadcasts the OR back; costs 2 supersteps with at most k-1 one-bit
 /// messages each — the paper's standard O(1)-round control primitive.
-[[nodiscard]] bool or_reduce_broadcast(Cluster& cluster, const std::vector<char>& machine_bit,
+/// Runs as two StepMode::kInline control-plane supersteps on `rt`.
+[[nodiscard]] bool or_reduce_broadcast(Runtime& rt, const std::vector<char>& machine_bit,
                                        std::uint32_t tag);
 
 /// Distributed sum of per-machine counters at M1, broadcast back.
 /// Same two-superstep pattern with counter payloads.
-[[nodiscard]] std::uint64_t sum_reduce_broadcast(Cluster& cluster,
+[[nodiscard]] std::uint64_t sum_reduce_broadcast(Runtime& rt,
                                                  const std::vector<std::uint64_t>& machine_value,
                                                  std::uint32_t tag);
 

@@ -10,12 +10,30 @@
 // computation); only labels crossing machine boundaries cost bandwidth,
 // and per (target vertex, round) the sender aggregates to the minimum
 // candidate label (legal local preprocessing).
+//
+// Execution: each boundary-exchange iteration is one Runtime superstep
+// handler — with config.threads > 1 the k machines' local fixpoints and
+// boundary aggregation run concurrently. The shared labels/changed vectors
+// are only ever written at machine-owned indices (asserted), so the
+// handlers are race-free; the cluster ledger is bit-identical for every
+// thread count.
 
 #include <vector>
 
 #include "core/common.hpp"
 
 namespace kmm {
+
+struct FloodingConfig {
+  /// Caps the boundary-exchange iteration count (0 = n+1, always
+  /// sufficient: the smallest label needs at most one superstep per
+  /// boundary hop).
+  std::uint64_t max_supersteps = 0;
+  /// Worker threads for per-machine local computation (1 = sequential,
+  /// 0 = hardware concurrency; clamped to k). Results and the cluster
+  /// ledger are identical for every value.
+  unsigned threads = 1;
+};
 
 struct FloodingResult {
   std::vector<Label> labels;       // smallest vertex id in the component
@@ -25,10 +43,13 @@ struct FloodingResult {
   RunStats stats;
 };
 
-/// `max_supersteps` caps the iteration count (0 = n+1, always sufficient:
-/// the smallest label needs at most one superstep per boundary hop).
 [[nodiscard]] FloodingResult flooding_connectivity(Cluster& cluster,
                                                    const DistributedGraph& dg,
-                                                   std::uint64_t max_supersteps = 0);
+                                                   const FloodingConfig& config = {});
+
+/// Back-compat shim for callers that only cap the iteration count.
+[[nodiscard]] FloodingResult flooding_connectivity(Cluster& cluster,
+                                                   const DistributedGraph& dg,
+                                                   std::uint64_t max_supersteps);
 
 }  // namespace kmm

@@ -5,17 +5,29 @@
 // Protocol: every machine draws a random ticket from its private tape and
 // broadcasts it; the (ticket, machine-id) minimum wins. One superstep,
 // k(k-1) messages of O(log n) bits, O(1) rounds — all machines agree on the
-// winner deterministically given the seed.
+// winner deterministically given the seed. Both the broadcast and the
+// per-machine minimum computation are Runtime superstep handlers, so the
+// (tiny) local work parallelizes with config.threads > 1.
 
 #include "core/common.hpp"
 
 namespace kmm {
+
+struct LeaderElectionConfig {
+  std::uint64_t seed = 1;  // seeds every machine's private ticket tape
+  /// Worker threads for per-machine local computation (1 = sequential,
+  /// 0 = hardware concurrency; clamped to k).
+  unsigned threads = 1;
+};
 
 struct LeaderResult {
   MachineId leader = 0;
   RunStats stats;
 };
 
+[[nodiscard]] LeaderResult elect_leader(Cluster& cluster, const LeaderElectionConfig& config);
+
+/// Back-compat shim: election with the default single-threaded runtime.
 [[nodiscard]] LeaderResult elect_leader(Cluster& cluster, std::uint64_t seed);
 
 }  // namespace kmm

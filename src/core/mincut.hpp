@@ -22,6 +22,10 @@ struct MinCutConfig {
   int trials_per_level = 3;
   int max_levels = 0;  // 0 => ceil(log2 m) + 2
   BoruvkaConfig connectivity;  // settings for the inner connectivity runs
+  /// Worker threads for every inner connectivity run (overrides
+  /// connectivity.threads; 1 = sequential, 0 = hardware concurrency,
+  /// clamped to k). Results and the ledger are thread-invariant.
+  unsigned threads = 1;
 };
 
 struct MinCutLevelTrace {

@@ -33,26 +33,28 @@ BoruvkaResult minimum_spanning_forest(Cluster& cluster, const DistributedGraph& 
 }
 
 StrictMstOutput announce_mst_to_home_machines(Cluster& cluster, const DistributedGraph& dg,
-                                              const BoruvkaResult& mst) {
+                                              const BoruvkaResult& mst, unsigned threads) {
   const StatsScope scope(cluster);
   const MachineId k = cluster.k();
   KMM_CHECK(mst.mst_by_machine.size() == k);
   const std::uint64_t label_bits =
       bits_for(std::max<std::uint64_t>(dg.num_vertices(), 2));
+  Runtime rt(cluster, RuntimeConfig{threads});
 
-  for (MachineId i = 0; i < k; ++i) {
+  rt.step([&](MachineId i, std::span<const Message>, Outbox& out) {
     for (const auto& e : mst.mst_by_machine[i]) {
       for (const MachineId home : {dg.home(e.u), dg.home(e.v)}) {
-        cluster.send(i, home, kTagAnnounce, {e.u, e.v, e.w}, 2 * label_bits + 64);
+        out.send(home, kTagAnnounce, {e.u, e.v, e.w}, 2 * label_bits + 64);
       }
     }
-  }
-  cluster.superstep();
+  });
 
+  // Collect + sort per home machine; each handler touches only its own
+  // edges_by_home slot, and nothing is sent, so this superstep is free.
   StrictMstOutput out;
   out.edges_by_home.resize(k);
-  for (MachineId i = 0; i < k; ++i) {
-    for (const auto& msg : cluster.inbox(i)) {
+  rt.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
+    for (const auto& msg : inbox) {
       if (msg.tag != kTagAnnounce) continue;
       out.edges_by_home[i].push_back(WeightedEdge{static_cast<Vertex>(msg.payload.at(0)),
                                                   static_cast<Vertex>(msg.payload.at(1)),
@@ -63,7 +65,7 @@ StrictMstOutput announce_mst_to_home_machines(Cluster& cluster, const Distribute
       return std::tuple{a.u, a.v, a.w} < std::tuple{b.u, b.v, b.w};
     });
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  }
+  });
   out.stats = scope.snapshot();
   return out;
 }

@@ -39,8 +39,11 @@ struct StrictMstOutput {
   RunStats stats;  // cost of the announcement pass alone
 };
 
+/// `threads` parallelizes the per-machine announce/collect handlers
+/// (same semantics as BoruvkaConfig::threads; ledger is thread-invariant).
 [[nodiscard]] StrictMstOutput announce_mst_to_home_machines(Cluster& cluster,
                                                             const DistributedGraph& dg,
-                                                            const BoruvkaResult& mst);
+                                                            const BoruvkaResult& mst,
+                                                            unsigned threads = 1);
 
 }  // namespace kmm

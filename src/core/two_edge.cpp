@@ -39,25 +39,35 @@ TwoEdgeResult two_edge_connectivity(Cluster& cluster, const DistributedGraph& dg
   }
   const RunStats forest1 = forests.snapshot();
 
+  // The forest runs spin up their own engine runtime; this one drives the
+  // certificate shipping steps with the same thread budget. Constructed
+  // here, after run1, so its pool doesn't sit idle through the forest runs.
+  Runtime rt(cluster, RuntimeConfig{config.threads});
+
   // 2. Announce F1 edges to both endpoints' home machines so G \ F1 is
   //    constructible locally.
   const StatsScope collect(cluster);
-  for (MachineId i = 0; i < k; ++i) {
+  rt.step([&](MachineId i, std::span<const Message>, Outbox& outbox) {
     for (const auto& [u, v] : run1.forest_by_machine[i]) {
       for (const MachineId home : {dg.home(u), dg.home(v)}) {
-        cluster.send(i, home, kTagAnnounceForest, {u, v}, 2 * label_bits);
+        outbox.send(home, kTagAnnounceForest, {u, v}, 2 * label_bits);
       }
     }
-  }
-  cluster.superstep();
+  });
+  // Free collection superstep: each handler reads only its own inbox into
+  // its own slot; the slots are concatenated in machine order below.
+  std::vector<std::vector<std::pair<Vertex, Vertex>>> f1_by_machine(k);
+  rt.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
+    for (const auto& msg : inbox) {
+      if (msg.tag == kTagAnnounceForest) {
+        f1_by_machine[i].emplace_back(static_cast<Vertex>(msg.payload.at(0)),
+                                      static_cast<Vertex>(msg.payload.at(1)));
+      }
+    }
+  });
   std::vector<std::pair<Vertex, Vertex>> f1;
   for (MachineId i = 0; i < k; ++i) {
-    for (const auto& msg : cluster.inbox(i)) {
-      if (msg.tag == kTagAnnounceForest) {
-        f1.emplace_back(static_cast<Vertex>(msg.payload.at(0)),
-                        static_cast<Vertex>(msg.payload.at(1)));
-      }
-    }
+    f1.insert(f1.end(), f1_by_machine[i].begin(), f1_by_machine[i].end());
   }
   std::sort(f1.begin(), f1.end());
   f1.erase(std::unique(f1.begin(), f1.end()), f1.end());
@@ -80,35 +90,41 @@ TwoEdgeResult two_edge_connectivity(Cluster& cluster, const DistributedGraph& dg
   //    decide locally: G is 2-edge-connected iff H is (Thurimella's sparse
   //    certificate for 2-edge-connectivity).
   const StatsScope ship(cluster);
-  for (MachineId i = 0; i < k; ++i) {
+  rt.step([&](MachineId i, std::span<const Message>, Outbox& outbox) {
     for (const auto& [u, v] : run1.forest_by_machine[i]) {
-      cluster.send(i, 0, kTagCertificate, {u, v}, 2 * label_bits);
+      outbox.send(0, kTagCertificate, {u, v}, 2 * label_bits);
     }
     for (const auto& [u, v] : run2.forest_by_machine[i]) {
-      cluster.send(i, 0, kTagCertificate, {u, v}, 2 * label_bits);
+      outbox.send(0, kTagCertificate, {u, v}, 2 * label_bits);
     }
-  }
-  cluster.superstep();
-  std::vector<WeightedEdge> cert;
-  for (const auto& msg : cluster.inbox(0)) {
-    if (msg.tag != kTagCertificate) continue;
-    const auto u = static_cast<Vertex>(msg.payload.at(0));
-    const auto v = static_cast<Vertex>(msg.payload.at(1));
-    cert.push_back(WeightedEdge{std::min(u, v), std::max(u, v), 1});
-  }
-  std::sort(cert.begin(), cert.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
-    return std::pair{a.u, a.v} < std::pair{b.u, b.v};
   });
-  cert.erase(std::unique(cert.begin(), cert.end()), cert.end());
-  out.certificate_edges = cert.size();
-  KMM_CHECK_MSG(out.certificate_edges <= 2 * (n - 1), "certificate too large");
+  // Referee step: only machine 0 computes, so run inline; the verdict
+  // broadcast is delivered by this step's superstep.
+  rt.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox& outbox) {
+        if (i != 0) return;
+        std::vector<WeightedEdge> cert;
+        for (const auto& msg : inbox) {
+          if (msg.tag != kTagCertificate) continue;
+          const auto u = static_cast<Vertex>(msg.payload.at(0));
+          const auto v = static_cast<Vertex>(msg.payload.at(1));
+          cert.push_back(WeightedEdge{std::min(u, v), std::max(u, v), 1});
+        }
+        std::sort(cert.begin(), cert.end(),
+                  [](const WeightedEdge& a, const WeightedEdge& b) {
+                    return std::pair{a.u, a.v} < std::pair{b.u, b.v};
+                  });
+        cert.erase(std::unique(cert.begin(), cert.end()), cert.end());
+        out.certificate_edges = cert.size();
+        KMM_CHECK_MSG(out.certificate_edges <= 2 * (n - 1), "certificate too large");
 
-  const Graph h(n, std::move(cert));
-  out.two_edge_connected = ref::is_two_edge_connected(h);
-  for (MachineId i = 1; i < k; ++i) {
-    cluster.send(0, i, kTagVerdict, {out.two_edge_connected ? 1ULL : 0ULL}, 1);
-  }
-  cluster.superstep();
+        const Graph h(n, std::move(cert));
+        out.two_edge_connected = ref::is_two_edge_connected(h);
+        for (MachineId j = 1; j < k; ++j) {
+          outbox.send(j, kTagVerdict, {out.two_edge_connected ? 1ULL : 0ULL}, 1);
+        }
+      },
+      StepMode::kInline);
   const RunStats shipped = ship.snapshot();
   out.collect_stats.rounds = announce.rounds + shipped.rounds;
   out.collect_stats.messages = announce.messages + shipped.messages;

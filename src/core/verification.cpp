@@ -16,43 +16,55 @@ constexpr std::uint32_t kTagEdgeCount = 43;
 
 /// Distributed equality test of two vertex labels: home(s) ships label(s)
 /// to home(t), which compares and broadcasts the verdict. O(1) rounds.
+/// Two one-message control-plane supersteps — always StepMode::kInline, so
+/// a single-thread runtime is built here (no pool to spin up and join).
 bool labels_equal(Cluster& cluster, const DistributedGraph& dg, const BoruvkaResult& res,
                   Vertex s, Vertex t) {
+  Runtime rt(cluster, RuntimeConfig{1});
   const std::uint64_t label_bits =
       bits_for(std::max<std::uint64_t>(dg.num_vertices(), 2));
   const MachineId ms = dg.home(s);
   const MachineId mt = dg.home(t);
-  cluster.send(ms, mt, kTagLabelShip, {res.labels[s]}, label_bits);
-  cluster.superstep();
-  Label shipped = 0;
-  bool got = false;
-  for (const auto& msg : cluster.inbox(mt)) {
-    if (msg.tag == kTagLabelShip) {
-      shipped = msg.payload.at(0);
-      got = true;
-    }
-  }
-  KMM_CHECK(got);
-  const bool equal = shipped == res.labels[t];
-  for (MachineId i = 0; i < cluster.k(); ++i) {
-    if (i != mt) cluster.send(mt, i, kTagVerdict, {equal ? 1ULL : 0ULL}, 1);
-  }
-  cluster.superstep();
+  rt.step(
+      [&](MachineId i, std::span<const Message>, Outbox& out) {
+        if (i == ms) out.send(mt, kTagLabelShip, {res.labels[s]}, label_bits);
+      },
+      StepMode::kInline);
+  bool equal = false;
+  rt.step(
+      [&](MachineId i, std::span<const Message> inbox, Outbox& out) {
+        if (i != mt) return;
+        Label shipped = 0;
+        bool got = false;
+        for (const auto& msg : inbox) {
+          if (msg.tag == kTagLabelShip) {
+            shipped = msg.payload.at(0);
+            got = true;
+          }
+        }
+        KMM_CHECK(got);
+        equal = shipped == res.labels[t];
+        for (MachineId j = 0; j < rt.k(); ++j) {
+          if (j != mt) out.send(j, kTagVerdict, {equal ? 1ULL : 0ULL}, 1);
+        }
+      },
+      StepMode::kInline);
   return equal;
 }
 
 /// Global (undirected) edge count: each home machine counts edges whose
-/// lower endpoint it hosts; sum-reduce at M1.
-std::uint64_t count_edges(Cluster& cluster, const DistributedGraph& dg) {
-  std::vector<std::uint64_t> local(cluster.k(), 0);
-  for (MachineId i = 0; i < cluster.k(); ++i) {
+/// lower endpoint it hosts (a free parallel superstep — nothing is sent);
+/// sum-reduce at M1.
+std::uint64_t count_edges(Runtime& rt, const DistributedGraph& dg) {
+  std::vector<std::uint64_t> local(rt.k(), 0);
+  rt.step([&](MachineId i, std::span<const Message>, Outbox&) {
     for (const Vertex v : dg.vertices_of(i)) {
       for (const auto& he : dg.neighbors(v)) {
         if (v < he.to) ++local[i];
       }
     }
-  }
-  return sum_reduce_broadcast(cluster, local, kTagEdgeCount);
+  });
+  return sum_reduce_broadcast(rt, local, kTagEdgeCount);
 }
 
 Graph restricted_to(const Graph& g, const std::vector<std::pair<Vertex, Vertex>>& edges) {
@@ -146,7 +158,11 @@ VerifyResult verify_st_cut(Cluster& cluster, const DistributedGraph& dg, Vertex 
 VerifyResult verify_cycle_containment(Cluster& cluster, const DistributedGraph& dg,
                                       const BoruvkaConfig& config) {
   const StatsScope scope(cluster);
-  const std::uint64_t m = count_edges(cluster, dg);
+  std::uint64_t m = 0;
+  {
+    Runtime rt(cluster, RuntimeConfig{config.threads});
+    m = count_edges(rt, dg);
+  }
   const auto res = connected_components(cluster, dg, config);
   VerifyResult out;
   out.components = res.num_components;

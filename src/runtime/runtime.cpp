@@ -7,13 +7,13 @@
 
 namespace kmm {
 
-namespace {
-
 unsigned resolve_threads(unsigned requested, MachineId k) {
   unsigned t = requested;
   if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
   return std::min<unsigned>(t, k);
 }
+
+namespace {
 
 /// Adapter turning an ad-hoc handler into a MachineProgram.
 class FnProgram final : public MachineProgram {

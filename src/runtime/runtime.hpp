@@ -21,6 +21,48 @@
 // threads semantics: 1 = sequential in-line execution (no pool, handlers
 // write directly into the cluster outbox); 0 = hardware concurrency; any
 // value is clamped to k (more workers than machines cannot help).
+//
+// ---------------------------------------------------------------------------
+// Porting recipe: Cluster loop -> SuperstepFn
+//
+// Every algorithm in src/core/ used to be written as the classic sequential
+// pattern
+//
+//     for (MachineId i = 0; i < k; ++i) { ...compute for i...; cluster.send(i, ...); }
+//     cluster.superstep();
+//     for (MachineId i = 0; i < k; ++i) { ...read cluster.inbox(i)...; }
+//
+// The mechanical transformation (flooding_connectivity is the worked
+// example) is:
+//
+//   1. Each "for each machine: compute + send" loop body becomes one
+//      SuperstepFn handler: rt.step([&](MachineId i, inbox, out) {...}).
+//      The handler sends through `out` (src is pinned to i) and the step's
+//      trailing Cluster::superstep() replaces the explicit call.
+//   2. The "read inboxes" loop moves into the NEXT step's handler — the
+//      inbox span a handler receives is exactly what the previous step
+//      delivered to machine i. A read-only step that sends nothing is a
+//      free superstep (no ledger effect), so pure collection/local-compute
+//      steps cost nothing.
+//   3. Shared state must become machine-indexed: state[i] (or labels[v]
+//      with home(v) == i) is written only by handler i. Flooding's shared
+//      labels/changed vectors follow this partition and assert it on the
+//      receive path; anything genuinely cross-machine must be atomic and
+//      only read between steps (see finished_ in the Borůvka engine).
+//   4. One-word control-plane steps (OR/sum reduces, verdict broadcasts,
+//      single-machine referee solves) pass StepMode::kInline — the barrier
+//      would cost more than the handler work, and the modes are
+//      observationally identical anyway.
+//   5. Give the public entry point a config with a `threads` field
+//      (mirroring BoruvkaConfig::threads) and build one
+//      Runtime(cluster, RuntimeConfig{config.threads}) per run.
+//
+// Because the handler order in sequential mode and the shard-merge order in
+// parallel mode are both ascending machine order, a ported algorithm's sends
+// hit Cluster::superstep() in the exact order of the original loop: the
+// ledger is unchanged by the port AND thread-invariant afterwards
+// (enforced repo-wide by tests/test_runtime.cpp).
+// ---------------------------------------------------------------------------
 
 #include <cstdint>
 #include <functional>
@@ -40,6 +82,11 @@ struct RuntimeConfig {
   /// 0 = std::thread::hardware_concurrency(), clamped to the cluster's k.
   unsigned threads = 1;
 };
+
+/// The thread-count resolution every Runtime applies: 0 expands to
+/// hardware concurrency, then the result is clamped to [1, k]. Exposed so
+/// CLIs and benches can report the effective concurrency of a run.
+[[nodiscard]] unsigned resolve_threads(unsigned requested, MachineId k);
 
 /// Signature of an ad-hoc superstep handler (see Runtime::step overload).
 using SuperstepFn = std::function<void(MachineId, std::span<const Message>, Outbox&)>;

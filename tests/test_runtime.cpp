@@ -2,6 +2,11 @@
 // and the central invariant that results AND the full cluster ledger are
 // bit-identical for every thread count (threads ∈ {1, 2, 8}) and equal to
 // the sequential path, on path / gnm / rmat inputs.
+//
+// The RuntimeDeterminism suite covers every ported algorithm — Borůvka
+// connectivity/MST, flooding, referee, leader election, min-cut, two-edge
+// connectivity, the verification reductions, and the REP-model baselines —
+// and CI runs it under ThreadSanitizer.
 
 #include <gtest/gtest.h>
 
@@ -256,6 +261,37 @@ TEST(RuntimeDeterminism, MstLedgerIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(RuntimeDeterminism, AnnounceMstLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    Rng wrng(split(19, gi));
+    const Graph g = with_unique_weights(with_random_weights(graphs[gi], wrng, 100000));
+    // One MST per thread count, then the strict announce pass on top; both
+    // the announced edge partition and the announce-pass ledger must be
+    // thread-invariant.
+    const auto run_announce = [&](unsigned threads) {
+      Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), 8));
+      const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), 8, 99));
+      BoruvkaConfig cfg{.seed = 4321};
+      cfg.threads = threads;
+      const auto mst = minimum_spanning_forest(cluster, dg, cfg);
+      auto strict = announce_mst_to_home_machines(cluster, dg, mst, threads);
+      return std::pair{std::move(strict), cluster.stats()};
+    };
+    const auto baseline = run_announce(1);
+    for (const unsigned threads : {2u, 8u}) {
+      const auto run = run_announce(threads);
+      EXPECT_EQ(run.first.edges_by_home, baseline.first.edges_by_home)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.first.stats.rounds, baseline.first.stats.rounds)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(run.first.stats.bits, baseline.first.stats.bits)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(run.second, baseline.second, kInputNames[gi]);
+    }
+  }
+}
+
 TEST(RuntimeDeterminism, CutBitsTrackedIdenticallyAcrossThreadCounts) {
   Rng rng(23);
   const Graph g = gen::gnm(400, 1200, rng);
@@ -274,6 +310,237 @@ TEST(RuntimeDeterminism, CutBitsTrackedIdenticallyAcrossThreadCounts) {
   EXPECT_GT(seq.cut_bits, 0u);
   expect_stats_identical(run_with_cut(2), seq, "cut threads=2");
   expect_stats_identical(run_with_cut(8), seq, "cut threads=8");
+}
+
+// ------------------------------------------- ported-algorithm determinism
+//
+// Same contract, one test per ported algorithm: run with threads ∈ {1,2,8}
+// on path/gnm/rmat and demand identical results AND an identical ledger.
+
+/// Fresh cluster + partition for one determinism run; returns the stats
+/// after `body` ran the algorithm on it.
+template <typename Body>
+ClusterStats run_on_fresh_cluster(const Graph& g, MachineId k, const Body& body) {
+  Cluster cluster(ClusterConfig::for_graph(std::max<std::size_t>(g.num_vertices(), 2), k));
+  const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, 99));
+  body(cluster, dg);
+  return cluster.stats();
+}
+
+TEST(RuntimeDeterminism, FloodingLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    FloodingResult baseline_res;
+    const auto baseline = run_on_fresh_cluster(
+        graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+          baseline_res = flooding_connectivity(c, dg, FloodingConfig{.threads = 1});
+        });
+    EXPECT_TRUE(baseline_res.converged) << kInputNames[gi];
+    EXPECT_EQ(std::vector<Vertex>(baseline_res.labels.begin(), baseline_res.labels.end()),
+              ref::component_labels(graphs[gi]))
+        << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      FloodingResult res;
+      const auto stats = run_on_fresh_cluster(
+          graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+            res = flooding_connectivity(c, dg, FloodingConfig{.threads = threads});
+          });
+      EXPECT_EQ(res.labels, baseline_res.labels) << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.num_components, baseline_res.num_components)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.supersteps, baseline_res.supersteps)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, RefereeLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    RefereeResult baseline_res;
+    const auto baseline = run_on_fresh_cluster(
+        graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+          baseline_res = referee_connectivity(c, dg, RefereeConfig{.threads = 1});
+        });
+    EXPECT_EQ(std::vector<Vertex>(baseline_res.labels.begin(), baseline_res.labels.end()),
+              ref::component_labels(graphs[gi]))
+        << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      RefereeResult res;
+      const auto stats = run_on_fresh_cluster(
+          graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+            res = referee_connectivity(c, dg, RefereeConfig{.threads = threads});
+          });
+      EXPECT_EQ(res.labels, baseline_res.labels) << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.num_components, baseline_res.num_components)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, LeaderElectionLedgerIdenticalAcrossThreadCounts) {
+  LeaderResult baseline_res;
+  const auto baseline =
+      run_on_fresh_cluster(Graph(4, {}), 8, [&](Cluster& c, const DistributedGraph&) {
+        baseline_res = elect_leader(c, LeaderElectionConfig{.seed = 42, .threads = 1});
+      });
+  for (const unsigned threads : {2u, 8u}) {
+    LeaderResult res;
+    const auto stats =
+        run_on_fresh_cluster(Graph(4, {}), 8, [&](Cluster& c, const DistributedGraph&) {
+          res = elect_leader(c, LeaderElectionConfig{.seed = 42, .threads = threads});
+        });
+    EXPECT_EQ(res.leader, baseline_res.leader) << "threads=" << threads;
+    expect_stats_identical(stats, baseline, "leader");
+  }
+}
+
+TEST(RuntimeDeterminism, MinCutLedgerIdenticalAcrossThreadCounts) {
+  // Smaller inputs than the connectivity suite: one min-cut run is a whole
+  // sweep of inner connectivity runs.
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(160));
+  Rng rng_gnm(7);
+  graphs.push_back(gen::gnm(192, 576, rng_gnm));
+  Rng rng_rmat(11);
+  graphs.push_back(gen::rmat(256, 700, rng_rmat));
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto run = [&](unsigned threads, MinCutResult& res) {
+      return run_on_fresh_cluster(graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+        MinCutConfig cfg;
+        cfg.seed = 4242;
+        cfg.threads = threads;
+        res = approximate_min_cut(c, dg, cfg);
+      });
+    };
+    MinCutResult baseline_res;
+    const auto baseline = run(1, baseline_res);
+    for (const unsigned threads : {2u, 8u}) {
+      MinCutResult res;
+      const auto stats = run(threads, res);
+      EXPECT_EQ(res.estimate, baseline_res.estimate)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.disconnect_level, baseline_res.disconnect_level)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.graph_connected, baseline_res.graph_connected)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, TwoEdgeLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto run = [&](unsigned threads, TwoEdgeResult& res) {
+      return run_on_fresh_cluster(graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+        BoruvkaConfig cfg{.seed = 77};
+        cfg.threads = threads;
+        res = two_edge_connectivity(c, dg, cfg);
+      });
+    };
+    TwoEdgeResult baseline_res;
+    const auto baseline = run(1, baseline_res);
+    for (const unsigned threads : {2u, 8u}) {
+      TwoEdgeResult res;
+      const auto stats = run(threads, res);
+      EXPECT_EQ(res.two_edge_connected, baseline_res.two_edge_connected)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.certificate_edges, baseline_res.certificate_edges)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.connected, baseline_res.connected)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, VerificationLedgerIdenticalAcrossThreadCounts) {
+  // st-connectivity exercises the ported label-equality exchange;
+  // cycle containment exercises the ported count/sum-reduce path.
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Vertex s = 1;
+    const Vertex t = static_cast<Vertex>(graphs[gi].num_vertices() - 2);
+    const auto run = [&](unsigned threads, VerifyResult& st, VerifyResult& cyc) {
+      return run_on_fresh_cluster(graphs[gi], 8, [&](Cluster& c, const DistributedGraph& dg) {
+        BoruvkaConfig cfg{.seed = 31};
+        cfg.threads = threads;
+        st = verify_st_connectivity(c, dg, s, t, cfg);
+        cyc = verify_cycle_containment(c, dg, cfg);
+      });
+    };
+    VerifyResult baseline_st, baseline_cyc;
+    const auto baseline = run(1, baseline_st, baseline_cyc);
+    for (const unsigned threads : {2u, 8u}) {
+      VerifyResult st, cyc;
+      const auto stats = run(threads, st, cyc);
+      EXPECT_EQ(st.ok, baseline_st.ok) << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(st.components, baseline_st.components)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(cyc.ok, baseline_cyc.ok) << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, RepMstLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    Rng wrng(split(19, gi));
+    const Graph g = with_unique_weights(with_random_weights(graphs[gi], wrng, 100000));
+    const auto ep = EdgePartition::random(g.num_edges(), 8, split(21, gi));
+    const auto run = [&](unsigned threads, RepMstResult& res) {
+      return run_on_fresh_cluster(g, 8, [&](Cluster& c, const DistributedGraph&) {
+        BoruvkaConfig cfg{.seed = 1717};
+        cfg.threads = threads;
+        res = rep_model_mst(c, g, ep, split(23, gi), cfg);
+      });
+    };
+    RepMstResult baseline_res;
+    const auto baseline = run(1, baseline_res);
+    Weight total = 0;
+    for (const auto& e : baseline_res.mst_edges) total += e.w;
+    EXPECT_EQ(total, ref::msf_weight(g)) << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      RepMstResult res;
+      const auto stats = run(threads, res);
+      EXPECT_EQ(res.mst_edges, baseline_res.mst_edges)
+          << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.filtered_edges, baseline_res.filtered_edges)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, RepConnectivityLedgerIdenticalAcrossThreadCounts) {
+  const auto graphs = determinism_inputs();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    const auto ep = EdgePartition::random(g.num_edges(), 8, split(25, gi));
+    const auto run = [&](unsigned threads, RepConnectivityResult& res) {
+      return run_on_fresh_cluster(g, 8, [&](Cluster& c, const DistributedGraph&) {
+        BoruvkaConfig cfg{.seed = 2929};
+        cfg.threads = threads;
+        res = rep_model_connectivity(c, g, ep, split(27, gi), cfg);
+      });
+    };
+    RepConnectivityResult baseline_res;
+    const auto baseline = run(1, baseline_res);
+    EXPECT_EQ(canonical_labels(baseline_res.labels), ref::component_labels(g))
+        << kInputNames[gi];
+    for (const unsigned threads : {2u, 8u}) {
+      RepConnectivityResult res;
+      const auto stats = run(threads, res);
+      EXPECT_EQ(res.labels, baseline_res.labels) << kInputNames[gi] << " threads=" << threads;
+      EXPECT_EQ(res.num_components, baseline_res.num_components)
+          << kInputNames[gi] << " threads=" << threads;
+      expect_stats_identical(stats, baseline, kInputNames[gi]);
+    }
+  }
 }
 
 // gen::rmat sanity so the determinism inputs mean what they claim.
