@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Merge every BENCH_*.json in a directory into one trajectory file.
+
+Each bench binary writes BENCH_<name>.json ({"bench": <name>, "records":
+[...]}); this tool folds them into a single BENCH_trajectory.json keyed by
+bench name, so CI can upload one artifact per commit and the perf dashboard
+can diff trajectories across commits without scraping per-bench files.
+
+Usage:
+    python3 bench/aggregate_bench.py [--dir BUILD_DIR] [--out OUT.json]
+
+Stdlib only; tolerant of missing benches (aggregates whatever is present)
+but fails loudly on malformed JSON so CI can't silently upload a truncated
+trajectory.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <dir>/BENCH_trajectory.json)")
+    args = parser.parse_args()
+
+    out_path = args.out or os.path.join(args.dir, "BENCH_trajectory.json")
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    paths = [p for p in paths if os.path.abspath(p) != os.path.abspath(out_path)]
+    if not paths:
+        print(f"aggregate_bench: no BENCH_*.json under {args.dir}", file=sys.stderr)
+        return 1
+
+    benches = {}
+    total_records = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+        name = data.get("bench", os.path.basename(path))
+        records = data.get("records", [])
+        benches[name] = records
+        total_records += len(records)
+        print(f"  {os.path.basename(path)}: {len(records)} records")
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"benches": benches}, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(benches)} benches, {total_records} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#pragma once
+// Counting-allocator hook for bench binaries.
+//
+// Replaces the global operator new/delete with malloc/free wrappers that
+// bump an atomic counter, so benches can report allocations per superstep
+// and the scaling JSON can distinguish "faster because parallel" from
+// "faster because fewer mallocs". Replacement operators must be defined in
+// exactly one translation unit per program and must not be inline
+// ([replacement.functions]); every bench is a single-TU binary and pulls
+// this in through bench_common.hpp, so that holds by construction. The
+// library itself never includes this header — test and example binaries
+// keep the default allocator.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace kmmbench {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+}
+
+/// Number of operator-new calls since program start (monotonic; sample
+/// before/after a region and subtract).
+inline std::uint64_t alloc_count() noexcept {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace kmmbench
+
+// GCC's new/delete pairing heuristic can't see that the replacement new
+// below is malloc-backed, so free() in the replacement delete is exactly
+// matched — silence the false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  kmmbench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  kmmbench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto al = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + al - 1) / al * al;
+  if (void* p = std::aligned_alloc(al, rounded != 0 ? rounded : al)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

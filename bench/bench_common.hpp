@@ -6,12 +6,14 @@
 // derived columns that make the comparison (normalized rounds, log-log
 // slopes). EXPERIMENTS.md records paper-vs-measured from these outputs.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "alloc_counter.hpp"
 #include "kmm.hpp"
 
 namespace kmmbench {
@@ -31,6 +33,7 @@ inline void banner(const char* experiment, const char* claim) {
 struct TimedResult {
   BoruvkaResult result;
   double wall_ms = 0.0;
+  std::uint64_t allocs = 0;  // operator-new calls during the run
 };
 
 /// Algorithm-agnostic flavor of TimedResult for the non-Borůvka entry
@@ -41,18 +44,30 @@ struct TimedStats {
   RunStats stats;
   std::size_t phases = 0;
   double wall_ms = 0.0;
+  std::uint64_t allocs = 0;  // operator-new calls during the run
 };
+
+/// Allocations per superstep for a timed run (0 when the run had no
+/// supersteps); the column that separates "faster because parallel" from
+/// "faster because fewer mallocs" in the scaling JSON.
+template <typename Timed>
+double allocs_per_superstep(const Timed& timed, std::uint64_t supersteps) {
+  if (supersteps == 0) return 0.0;
+  return static_cast<double>(timed.allocs) / static_cast<double>(supersteps);
+}
 
 /// Time `fn()` (which must return something carrying .stats) into a
 /// TimedStats record; `phases_of` extracts the phase count from the result
 /// (BoruvkaResult::phases, MinCutResult::levels, ...).
 template <typename Fn, typename PhasesOf>
 TimedStats time_stats(const Fn& fn, const PhasesOf& phases_of) {
+  const auto a0 = alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = fn();
   const auto t1 = std::chrono::steady_clock::now();
   return TimedStats{result.stats, phases_of(result),
-                    std::chrono::duration<double, std::milli>(t1 - t0).count()};
+                    std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                    alloc_count() - a0};
 }
 
 /// Same, for algorithms with no phase notion (phases = 0).
@@ -84,20 +99,24 @@ inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed,
 
 inline TimedResult run_connectivity_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                           unsigned threads = 1) {
+  const auto a0 = alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_connectivity(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
-                     std::chrono::duration<double, std::milli>(t1 - t0).count()};
+                     std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                     alloc_count() - a0};
 }
 
 inline TimedResult run_mst_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                  unsigned threads = 1) {
+  const auto a0 = alloc_count();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_mst(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
-                     std::chrono::duration<double, std::milli>(t1 - t0).count()};
+                     std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                     alloc_count() - a0};
 }
 
 /// Machine-readable perf trajectory: every record() appends a JSON object;
@@ -116,20 +135,35 @@ class BenchJson {
   /// algorithm has no phase notion).
   void record(const char* family, std::size_t n, std::size_t m, MachineId k,
               unsigned threads, const RunStats& stats, std::size_t phases,
-              double wall_ms) {
+              double wall_ms, double allocs_per_superstep = -1.0) {
     char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
-                  "\"threads\": %u, \"rounds\": %llu, \"messages\": %llu, "
-                  "\"bits\": %llu, \"supersteps\": %llu, \"phases\": %zu, "
-                  "\"wall_ms\": %.3f}",
-                  family, n, m, k, threads,
-                  static_cast<unsigned long long>(stats.rounds),
-                  static_cast<unsigned long long>(stats.messages),
-                  static_cast<unsigned long long>(stats.bits),
-                  static_cast<unsigned long long>(stats.supersteps), phases, wall_ms);
+    int len = std::snprintf(buf, sizeof(buf),
+                            "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
+                            "\"threads\": %u, \"rounds\": %llu, \"messages\": %llu, "
+                            "\"bits\": %llu, \"supersteps\": %llu, \"phases\": %zu, "
+                            "\"wall_ms\": %.3f",
+                            family, n, m, k, threads,
+                            static_cast<unsigned long long>(stats.rounds),
+                            static_cast<unsigned long long>(stats.messages),
+                            static_cast<unsigned long long>(stats.bits),
+                            static_cast<unsigned long long>(stats.supersteps), phases,
+                            wall_ms);
+    // snprintf returns the would-be length; clamp so a truncated record
+    // can't push the follow-up writes out of bounds.
+    len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
+    if (allocs_per_superstep >= 0.0) {
+      len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+                           ", \"allocs_per_superstep\": %.1f", allocs_per_superstep);
+      len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
+    }
+    std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "}");
     records_.emplace_back(buf);
   }
+
+  /// Escape hatch for benches whose schema doesn't fit the flat record
+  /// above (e.g. the superstep-throughput microbench): `json` must be one
+  /// complete object, no trailing comma.
+  void record_raw(std::string json) { records_.push_back("    " + std::move(json)); }
 
   void record(const char* family, std::size_t n, std::size_t m, MachineId k,
               unsigned threads, const BoruvkaResult& res, double wall_ms) {
@@ -170,7 +204,8 @@ inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'0
 inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::size_t m,
                                      MachineId k, BenchJson& json,
                                      const std::function<TimedStats(unsigned)>& runner) {
-  std::printf("%8s %10s %9s %9s\n", "threads", "rounds", "wall_ms", "speedup");
+  std::printf("%8s %10s %9s %9s %14s\n", "threads", "rounds", "wall_ms", "speedup",
+              "allocs/sstep");
   double base_ms = 0.0;
   std::uint64_t base_rounds = 0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -179,14 +214,15 @@ inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::siz
       base_ms = timed.wall_ms;
       base_rounds = timed.stats.rounds;
     }
-    std::printf("%8u %10llu %9.1f %8.2fx\n", threads,
+    const double aps = allocs_per_superstep(timed, timed.stats.supersteps);
+    std::printf("%8u %10llu %9.1f %8.2fx %14.1f\n", threads,
                 static_cast<unsigned long long>(timed.stats.rounds), timed.wall_ms,
-                base_ms / timed.wall_ms);
+                base_ms / timed.wall_ms, aps);
     if (timed.stats.rounds != base_rounds) {
       std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
       return false;
     }
-    json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms);
+    json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms, aps);
   }
   return true;
 }
@@ -197,7 +233,8 @@ inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m,
   return run_thread_scaling_stats(
       family, n, m, k, json, [&](unsigned threads) {
         const auto timed = runner(threads);
-        return TimedStats{timed.result.stats, timed.result.phases.size(), timed.wall_ms};
+        return TimedStats{timed.result.stats, timed.result.phases.size(), timed.wall_ms,
+                          timed.allocs};
       });
 }
 

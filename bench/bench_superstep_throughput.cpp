@@ -1,0 +1,122 @@
+// Superstep message-plane throughput: how many messages and payload words
+// per second the simulator's send -> merge -> deliver pipeline moves, and
+// how many heap allocations one superstep costs, across payload sizes and
+// thread counts.
+//
+// This is the microbench behind the allocation-free message plane: the
+// k-machine cost model makes local computation free, so the simulator's
+// wall-clock is dominated by exactly this path. Every record reports
+// msgs/s, words/s, and allocations/superstep (via the counting-allocator
+// hook in alloc_counter.hpp), measured in steady state after a warmup so
+// capacity-retaining buffers are warm.
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kmm;
+using namespace kmmbench;
+
+constexpr MachineId kMachines = 16;
+constexpr std::size_t kFanout = 48;       // messages per machine per superstep
+constexpr std::size_t kWarmupSteps = 16;  // let buffers reach steady-state capacity
+constexpr std::size_t kMeasureSteps = 192;
+
+struct ThroughputRow {
+  std::size_t payload_words;
+  unsigned threads;
+  double wall_ms;
+  double msgs_per_sec;
+  double words_per_sec;
+  double allocs_per_superstep;
+};
+
+/// One synthetic superstep: every machine reads its inbox (summing payload
+/// words so delivery isn't dead code) and sends kFanout messages of
+/// `payload_words` words to a rotating set of destinations.
+ThroughputRow run_config(std::size_t payload_words, unsigned threads) {
+  Cluster cluster(ClusterConfig{.k = kMachines, .bandwidth_bits = 1 << 16});
+  Runtime rt(cluster, RuntimeConfig{.threads = threads});
+
+  std::vector<std::uint64_t> sink(kMachines, 0);
+  // Per-machine scratch payload buffers (machine-indexed so the handler is
+  // race-free under threads > 1); send() copies, so one buffer per machine
+  // serves every message.
+  std::vector<std::array<std::uint64_t, 16>> scratch(kMachines);
+  std::size_t step_index = 0;
+
+  const auto handler = [&](MachineId self, std::span<const Message> inbox, Outbox& out) {
+    std::uint64_t acc = 0;
+    for (const auto& msg : inbox) {
+      for (const std::uint64_t w : msg.payload()) acc += w;
+    }
+    sink[self] += acc;
+    auto& payload = scratch[self];
+    for (std::size_t j = 0; j < kFanout; ++j) {
+      const auto dst = static_cast<MachineId>((self + 1 + (step_index + j) % (kMachines - 1)) %
+                                              kMachines);
+      for (std::size_t w = 0; w < payload_words; ++w) {
+        payload[w] = static_cast<std::uint64_t>(self) * 1315423911u + j * 2654435761u + w;
+      }
+      out.send(dst, /*tag=*/1, std::span<const std::uint64_t>(payload.data(), payload_words),
+               /*bits=*/0);
+    }
+  };
+
+  for (std::size_t s = 0; s < kWarmupSteps; ++s, ++step_index) rt.step(handler);
+
+  const auto a0 = alloc_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < kMeasureSteps; ++s, ++step_index) rt.step(handler);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto allocs = alloc_count() - a0;
+
+  // One drain step so the last deliveries are consumed (outside the timer).
+  rt.step([&](MachineId self, std::span<const Message> inbox, Outbox&) {
+    for (const auto& msg : inbox) sink[self] += msg.payload().size();
+  });
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double msgs = static_cast<double>(kMachines * kFanout * kMeasureSteps);
+  return ThroughputRow{payload_words, threads, wall_ms, msgs / (wall_ms / 1000.0),
+                       msgs * static_cast<double>(payload_words) / (wall_ms / 1000.0),
+                       static_cast<double>(allocs) / static_cast<double>(kMeasureSteps)};
+}
+
+}  // namespace
+
+int main() {
+  banner("superstep message-plane throughput",
+         "local computation is free (Section 1.1) — so delivery must be too: "
+         "messages/s, words/s, and allocations/superstep of the send->deliver path");
+
+  BenchJson json("superstep_throughput");
+  std::printf("k=%u, %zu msgs/machine/superstep, %zu measured supersteps\n\n",
+              kMachines, kFanout, kMeasureSteps);
+  std::printf("%14s %8s %9s %14s %14s %14s\n", "payload_words", "threads", "wall_ms",
+              "msgs/s", "words/s", "allocs/sstep");
+
+  for (const std::size_t payload_words : {1u, 2u, 4u, 16u}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const auto row = run_config(payload_words, threads);
+      std::printf("%14zu %8u %9.1f %14.0f %14.0f %14.1f\n", row.payload_words,
+                  row.threads, row.wall_ms, row.msgs_per_sec, row.words_per_sec,
+                  row.allocs_per_superstep);
+      char buf[384];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"payload_words\": %zu, \"threads\": %u, \"k\": %u, "
+                    "\"supersteps\": %zu, \"messages_per_superstep\": %zu, "
+                    "\"wall_ms\": %.3f, \"msgs_per_sec\": %.0f, "
+                    "\"words_per_sec\": %.0f, \"allocs_per_superstep\": %.1f}",
+                    row.payload_words, row.threads, kMachines, kMeasureSteps,
+                    static_cast<std::size_t>(kMachines) * kFanout, row.wall_ms,
+                    row.msgs_per_sec, row.words_per_sec, row.allocs_per_superstep);
+      json.record_raw(buf);
+    }
+  }
+  return 0;
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -23,48 +22,67 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   inboxes_.resize(config_.k);
   stats_.sent_bits_by_machine.assign(config_.k, 0);
   stats_.received_bits_by_machine.assign(config_.k, 0);
-}
-
-void Cluster::send(Message msg) {
-  KMM_CHECK(msg.src < config_.k && msg.dst < config_.k);
-  outbox_.push_back(std::move(msg));
+  link_bits_.assign(static_cast<std::size_t>(config_.k) * config_.k, 0);
+  inbox_counts_.assign(config_.k, 0);
 }
 
 void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
-                   std::vector<std::uint64_t> payload, std::uint64_t bits) {
-  send(Message{src, dst, tag, std::move(payload), bits});
+                   std::span<const std::uint64_t> payload, std::uint64_t bits) {
+  KMM_CHECK(src < config_.k && dst < config_.k);
+  outbox_.push_back(Message::make(src, dst, tag, payload, bits, pending_arena_));
 }
 
 void Cluster::enqueue_batch(std::vector<Message>&& batch) {
-  for (const auto& msg : batch) {
-    KMM_CHECK(msg.src < config_.k && msg.dst < config_.k);
+  outbox_.reserve(outbox_.size() + batch.size());
+  for (auto& msg : batch) {
+    // The Outbox already validated src/dst at send time; re-checking every
+    // message here would put a full extra pass on the merge hot path, so
+    // the revalidation is debug-only.
+    KMM_DCHECK(msg.src < config_.k && msg.dst < config_.k);
+    // Spilled payloads are copied (not chunk-spliced) out of the shard
+    // arena: donating chunks would leave the shards re-allocating fresh
+    // ones every superstep unless a cross-thread chunk pool cycled them
+    // back. A bounded memcpy of the rare >4-word payloads keeps both sides
+    // allocation-free in steady state, which is the property that matters.
+    msg.reintern(pending_arena_);
+    outbox_.push_back(msg);
   }
-  outbox_.insert(outbox_.end(), std::make_move_iterator(batch.begin()),
-                 std::make_move_iterator(batch.end()));
   batch.clear();
 }
 
 std::uint64_t Cluster::superstep() {
-  for (auto& inbox : inboxes_) inbox.clear();
+  for (auto& inbox : inboxes_) inbox.clear();  // capacity retained
+  // Last superstep's payload generation is dead now that the inboxes are
+  // cleared; recycle it and promote the pending generation (chunk memory is
+  // stable, so spilled-payload pointers survive the swap).
+  live_arena_.reset();
+  std::swap(live_arena_, pending_arena_);
   if (outbox_.empty()) return 0;
   return deliver_pending();
 }
 
 std::uint64_t Cluster::deliver_pending() {
+  const MachineId k = config_.k;
 
-  // Per-directed-link bit loads for this superstep.
-  std::unordered_map<std::uint64_t, std::uint64_t> link_bits;
-  link_bits.reserve(outbox_.size());
+  // Count-then-bucket: size every inbox exactly before routing, so inbox
+  // growth never reallocates mid-delivery and a warm cluster delivers an
+  // entire superstep without touching the allocator.
+  std::fill(inbox_counts_.begin(), inbox_counts_.end(), 0);
+  for (const auto& msg : outbox_) ++inbox_counts_[msg.dst];
+  for (MachineId m = 0; m < k; ++m) {
+    if (inbox_counts_[m] > 0) inboxes_[m].reserve(inbox_counts_[m]);
+  }
 
-  for (auto& msg : outbox_) {
+  for (const auto& msg : outbox_) {
     if (msg.src == msg.dst) {
       ++stats_.local_messages;
-      inboxes_[msg.dst].push_back(std::move(msg));
+      inboxes_[msg.dst].push_back(msg);
       continue;
     }
     const std::uint64_t bits = msg.wire_bits();
-    const std::uint64_t link = static_cast<std::uint64_t>(msg.src) * config_.k + msg.dst;
-    link_bits[link] += bits;
+    const std::uint64_t link = static_cast<std::uint64_t>(msg.src) * k + msg.dst;
+    if (link_bits_[link] == 0) touched_links_.push_back(link);  // bits >= header > 0
+    link_bits_[link] += bits;
     if (!cut_side_.empty() && cut_side_[msg.src] != cut_side_[msg.dst]) {
       stats_.cut_bits += bits;
     }
@@ -72,12 +90,16 @@ std::uint64_t Cluster::deliver_pending() {
     stats_.sent_bits_by_machine[msg.src] += bits;
     stats_.received_bits_by_machine[msg.dst] += bits;
     ++stats_.messages;
-    inboxes_[msg.dst].push_back(std::move(msg));
+    inboxes_[msg.dst].push_back(msg);
   }
   outbox_.clear();
 
   std::uint64_t max_load = 0;
-  for (const auto& [link, bits] : link_bits) max_load = std::max(max_load, bits);
+  for (const std::uint64_t link : touched_links_) {
+    max_load = std::max(max_load, link_bits_[link]);
+    link_bits_[link] = 0;  // restore the all-zero invariant for next delivery
+  }
+  touched_links_.clear();
 
   const std::uint64_t rounds =
       max_load == 0 ? 0 : (max_load + config_.bandwidth_bits - 1) / config_.bandwidth_bits;

@@ -28,10 +28,12 @@
 // construction identical however the local computation was scheduled.
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
 #include "cluster/message.hpp"
+#include "cluster/payload_arena.hpp"
 #include "util/codec.hpp"
 #include "util/stats.hpp"
 
@@ -67,15 +69,23 @@ class Cluster {
   [[nodiscard]] MachineId k() const noexcept { return config_.k; }
   [[nodiscard]] std::uint64_t bandwidth_bits() const noexcept { return config_.bandwidth_bits; }
 
-  /// Enqueue a message for the next superstep.
-  void send(Message msg);
+  /// Enqueue a message for the next superstep. The payload is copied —
+  /// inline into the Message when it fits, into the pending arena otherwise
+  /// — so the caller's buffer may be reused immediately.
   void send(MachineId src, MachineId dst, std::uint32_t tag,
-            std::vector<std::uint64_t> payload, std::uint64_t bits = 0);
+            std::span<const std::uint64_t> payload, std::uint64_t bits = 0);
+  void send(MachineId src, MachineId dst, std::uint32_t tag,
+            std::initializer_list<std::uint64_t> payload, std::uint64_t bits = 0) {
+    send(src, dst, tag, std::span<const std::uint64_t>(payload.begin(), payload.size()),
+         bits);
+  }
 
   /// Move a pre-ordered batch of messages into the pending outbox —
   /// equivalent to send() per message in batch order. Used by the parallel
   /// Runtime to merge per-source outbox shards after the superstep barrier;
-  /// the batch is left empty (capacity retained for reuse).
+  /// the batch is left empty (capacity retained for reuse). Spilled payloads
+  /// are re-homed from the shard's arena into the cluster's pending arena,
+  /// so the shard may be recycled as soon as the call returns.
   void enqueue_batch(std::vector<Message>&& batch);
 
   /// Deliver all enqueued messages; charge rounds; returns rounds charged.
@@ -113,6 +123,21 @@ class Cluster {
   std::vector<std::vector<Message>> inboxes_;   // per machine, current superstep
   std::vector<std::uint8_t> cut_side_;          // empty = no cut tracked
   ClusterStats stats_;
+
+  // Double-buffered payload storage: sends spill into pending_arena_;
+  // superstep() recycles live_arena_ (last superstep's inbox payloads) and
+  // swaps, so delivered payloads stay valid exactly as long as the inbox
+  // they sit in. Chunk memory is stable across the swap, so no Message
+  // pointer is disturbed.
+  PayloadArena pending_arena_;
+  PayloadArena live_arena_;
+
+  // Flat k*k per-directed-link load table plus first-touch list; entries
+  // are zeroed again after every delivery, so the steady state allocates
+  // nothing and max-load scanning is deterministic (first-touch order).
+  std::vector<std::uint64_t> link_bits_;
+  std::vector<std::uint64_t> touched_links_;
+  std::vector<std::uint32_t> inbox_counts_;  // per-destination count scratch
 };
 
 }  // namespace kmm

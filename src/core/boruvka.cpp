@@ -72,6 +72,8 @@ BoruvkaEngine::BoruvkaEngine(Cluster& cluster, const DistributedGraph& dg,
   resend_.resize(k);
   part_thr_.resize(k);
   proxy_records_.resize(k);
+  writer_.resize(k);
+  mask_scratch_.assign(k, std::vector<std::uint64_t>(mask_words()));
   sampler_retries_by_machine_.assign(k, 0);
   labels_.resize(n_);
   finished_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_);
@@ -118,10 +120,10 @@ bool BoruvkaEngine::any_active_parts() {
 }
 
 void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& out,
-                                  const ProxyMap& to) {
+                                  const ProxyMap& to, WordWriter& w) {
   const std::uint64_t rec_bits = 4 * label_bits_ + 140 + cluster_->k();
   for (const auto& [label, rec] : from) {
-    WordWriter w;
+    w.clear();
     w.u64(label)
         .u64(rec.state)
         .u64(rec.parent)
@@ -133,7 +135,7 @@ void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& o
         .u64(rec.cand_w)
         .u64(rec.target);
     for (const auto word : rec.srcs) w.u64(word);
-    out.send(to.proxy_of(label), kTagHandoff, std::move(w).take(), rec_bits);
+    out.send(to.proxy_of(label), kTagHandoff, w.words(), rec_bits);
   }
 }
 
@@ -190,15 +192,16 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
           thr = thr_it->second;
         }
         const L0Sampler sketch = builder.sketch_part(*dg_, part_it->second, thr);
-        WordWriter w;
+        auto& w = writer_[i];
+        w.clear();
         w.u64(label);
         sketch.serialize(w);
-        out.send(prox.proxy_of(label), kTagSketch, std::move(w).take(),
+        out.send(prox.proxy_of(label), kTagSketch, w.words(),
                  label_bits_ + sketch.wire_bits());
       }
       resend_[i].clear();
       if (t >= 1) {
-        send_handoffs(proxy_records_[i], out, prox);
+        send_handoffs(proxy_records_[i], out, prox, writer_[i]);
         proxy_records_[i].clear();
       }
     });
@@ -209,14 +212,14 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
     runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
       for (const auto& msg : inbox) {
         if (msg.tag == kTagHandoff) {
-          WordReader r(msg.payload);
+          WordReader r(msg.payload());
           apply_handoff(r, proxy_records_[i]);
         }
       }
       std::map<Label, L0Sampler> sums;
       for (const auto& msg : inbox) {
         if (msg.tag != kTagSketch) continue;
-        WordReader r(msg.payload);
+        WordReader r(msg.payload());
         const Label label = r.u64();
         const L0Sampler part = L0Sampler::deserialize(builder.universe(), builder.params(),
                                                       builder.seed(), r);
@@ -283,16 +286,16 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
       for (const auto& msg : inbox) {
         switch (msg.tag) {
           case kTagLabelQuery: {
-            const Label label = msg.payload.at(0);
-            const auto v = static_cast<Vertex>(msg.payload.at(1));
+            const Label label = msg.payload()[0];
+            const auto v = static_cast<Vertex>(msg.payload()[1]);
             KMM_CHECK_MSG(dg_->home(v) == i, "label query reached a non-home machine");
             out.send(msg.src, kTagLabelReply, {label, labels_[v]}, 2 * label_bits_);
             break;
           }
           case kTagWeightQuery: {
-            const Label label = msg.payload.at(0);
-            const auto in = static_cast<Vertex>(msg.payload.at(1));
-            const auto out_v = static_cast<Vertex>(msg.payload.at(2));
+            const Label label = msg.payload()[0];
+            const auto in = static_cast<Vertex>(msg.payload()[1]);
+            const auto out_v = static_cast<Vertex>(msg.payload()[2]);
             KMM_CHECK_MSG(dg_->home(in) == i, "weight query reached a non-home machine");
             Weight w = 0;
             bool found = false;
@@ -308,12 +311,12 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
             break;
           }
           case kTagDirective: {
-            const Label label = msg.payload.at(0);
-            if (msg.payload.at(1) == kDirectiveFinished) {
+            const Label label = msg.payload()[0];
+            if (msg.payload()[1] == kDirectiveFinished) {
               finished_[label].store(1, std::memory_order_relaxed);
             } else {
               resend_[i].insert(label);
-              part_thr_[i][label] = msg.payload.at(2);
+              part_thr_[i][label] = msg.payload()[2];
             }
             break;
           }
@@ -327,16 +330,16 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
     runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
       for (const auto& msg : inbox) {
         if (msg.tag == kTagLabelReply) {
-          const Label label = msg.payload.at(0);
-          const Label target = msg.payload.at(1);
+          const Label label = msg.payload()[0];
+          const Label target = msg.payload()[1];
           Record& rec = proxy_records_[i].at(label);
           KMM_CHECK(rec.state == kAwaitLabel);
           KMM_CHECK_MSG(target != label, "sampled edge is intra-component");
           rec.target = target;
           rec.state = kDone;
         } else if (msg.tag == kTagWeightReply) {
-          const Label label = msg.payload.at(0);
-          const Weight w = msg.payload.at(1);
+          const Label label = msg.payload()[0];
+          const Weight w = msg.payload()[1];
           Record& rec = proxy_records_[i].at(label);
           KMM_CHECK(rec.state == kAwaitWeight);
           KMM_CHECK_MSG(w >= 1, "edge weights must be positive");
@@ -358,12 +361,12 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
         [&](MachineId i, std::span<const Message> inbox, Outbox&) {
           for (const auto& msg : inbox) {
             if (msg.tag != kTagDirective) continue;
-            const Label label = msg.payload.at(0);
-            if (msg.payload.at(1) == kDirectiveFinished) {
+            const Label label = msg.payload()[0];
+            if (msg.payload()[1] == kDirectiveFinished) {
               finished_[label].store(1, std::memory_order_relaxed);
             } else {
               resend_[i].insert(label);
-              part_thr_[i][label] = msg.payload.at(2);
+              part_thr_[i][label] = msg.payload()[2];
             }
           }
         },
@@ -426,7 +429,7 @@ void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
       [&](MachineId i, std::span<const Message> inbox, Outbox&) {
         for (const auto& msg : inbox) {
           if (msg.tag != kTagChildReg) continue;
-          const Label parent = msg.payload.at(1);
+          const Label parent = msg.payload()[1];
           const auto it = proxy_records_[i].find(parent);
           KMM_CHECK_MSG(it != proxy_records_[i].end(),
                         "child registered with an unknown parent component");
@@ -458,7 +461,7 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
     // Fresh proxies each merge iteration (Lemma 5) + record handoff.
     const ProxyMap prox = merge_proxies(phase, rho);
     runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
-      send_handoffs(proxy_records_[i], out, prox);
+      send_handoffs(proxy_records_[i], out, prox, writer_[i]);
       proxy_records_[i].clear();
     });
 
@@ -467,7 +470,7 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
     runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
       for (const auto& msg : inbox) {
         if (msg.tag == kTagHandoff) {
-          WordReader r(msg.payload);
+          WordReader r(msg.payload());
           apply_handoff(r, proxy_records_[i]);
         }
       }
@@ -482,10 +485,11 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
         mask_for_each(rec.srcs, [&](MachineId m) {
           out.send(m, kTagRelabel, {label, rec.parent}, 2 * label_bits_);
         });
-        WordWriter w;
+        auto& w = writer_[i];
+        w.clear();
         w.u64(rec.parent);
         for (const auto word : rec.srcs) w.u64(word);
-        out.send(prox.proxy_of(rec.parent), kTagChildDone, std::move(w).take(),
+        out.send(prox.proxy_of(rec.parent), kTagChildDone, w.words(),
                  label_bits_ + cluster_->k() + 16);
         merged.push_back(label);
       }
@@ -495,16 +499,17 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
     runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
       for (const auto& msg : inbox) {
         if (msg.tag == kTagRelabel) {
-          relabel_part(i, msg.payload.at(0), msg.payload.at(1));
+          relabel_part(i, msg.payload()[0], msg.payload()[1]);
         } else if (msg.tag == kTagChildDone) {
-          const Label parent = msg.payload.at(0);
+          const Label parent = msg.payload()[0];
           const auto it = proxy_records_[i].find(parent);
           KMM_CHECK_MSG(it != proxy_records_[i].end(), "child-done for unknown parent");
           KMM_CHECK(it->second.children_left > 0);
           --it->second.children_left;
-          std::vector<std::uint64_t> child_srcs(mask_words());
+          auto& child_srcs = mask_scratch_[i];
+          KMM_DCHECK(msg.payload_words() >= 1 + child_srcs.size());
           for (std::size_t wi = 0; wi < child_srcs.size(); ++wi) {
-            child_srcs[wi] = msg.payload.at(1 + wi);
+            child_srcs[wi] = msg.payload()[1 + wi];
           }
           mask_or(it->second.srcs, child_srcs);
         }
@@ -550,7 +555,7 @@ void BoruvkaEngine::run_component_count() {
     (void)i;
     std::set<Label> distinct;
     for (const auto& msg : inbox) {
-      if (msg.tag == kTagCountProxy) distinct.insert(msg.payload.at(0));
+      if (msg.tag == kTagCountProxy) distinct.insert(msg.payload()[0]);
     }
     for (const Label label : distinct) {
       out.send(0, kTagCountRoot, {label}, label_bits_);
@@ -563,7 +568,7 @@ void BoruvkaEngine::run_component_count() {
         if (i != 0) return;
         std::set<Label> all;
         for (const auto& msg : inbox) {
-          if (msg.tag == kTagCountRoot) all.insert(msg.payload.at(0));
+          if (msg.tag == kTagCountRoot) all.insert(msg.payload()[0]);
         }
         count = all.size();
         for (MachineId j = 1; j < out.machines(); ++j) {

@@ -157,7 +157,8 @@ class BoruvkaEngine {
   // -- helpers -------------------------------------------------------------
   [[nodiscard]] ProxyMap elimination_proxies(std::uint32_t phase, std::uint32_t t) const;
   [[nodiscard]] ProxyMap merge_proxies(std::uint32_t phase, std::uint32_t rho) const;
-  void send_handoffs(const std::map<Label, Record>& from, Outbox& out, const ProxyMap& to);
+  void send_handoffs(const std::map<Label, Record>& from, Outbox& out, const ProxyMap& to,
+                     WordWriter& w);
   void apply_handoff(WordReader& reader, std::map<Label, Record>& into);
   void relabel_part(MachineId machine, Label from, Label to);
   [[nodiscard]] std::uint64_t count_distinct_labels() const;  // instrumentation only
@@ -206,6 +207,12 @@ class BoruvkaEngine {
 
   // Proxy-side records for the current proxy generation.
   std::vector<std::map<Label, Record>> proxy_records_;
+
+  // Per-machine payload serialization scratch (machine-indexed like the
+  // state above, so handlers stay race-free); cleared between messages,
+  // capacity retained, so steady-state serialization is allocation-free.
+  std::vector<WordWriter> writer_;
+  std::vector<std::vector<std::uint64_t>> mask_scratch_;  // child-src masks
 
   BoruvkaResult result_;
 };

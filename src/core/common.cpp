@@ -48,7 +48,7 @@ std::uint64_t sum_reduce_broadcast(Runtime& rt,
         if (i != 0) return;
         total = machine_value[0];
         for (const auto& msg : inbox) {
-          if (msg.tag == tag) total += msg.payload.at(0);
+          if (msg.tag == tag) total += msg.payload()[0];
         }
         for (MachineId j = 1; j < k; ++j) {
           out.send(j, tag, {total}, 64);

@@ -105,9 +105,10 @@ FloodingResult flooding_connectivity(Cluster& cluster, const DistributedGraph& d
       auto& q = queue[i];
       for (const auto& msg : inbox) {
         if (msg.tag != kTagFlood) continue;
-        const auto v = static_cast<Vertex>(msg.payload.at(0));
+        KMM_DCHECK(msg.payload_words() >= 2);
+        const auto v = static_cast<Vertex>(msg.payload()[0]);
         KMM_CHECK_MSG(dg.home(v) == i, "flood label for a vertex homed elsewhere");
-        const Label label = msg.payload.at(1);
+        const Label label = msg.payload()[1];
         if (label < result.labels[v]) {
           result.labels[v] = label;
           changed[v] = 1;

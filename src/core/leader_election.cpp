@@ -34,7 +34,7 @@ LeaderResult elect_leader(Cluster& cluster, const LeaderElectionConfig& config) 
     best[i] = {ticket[i], i};
     for (const auto& msg : inbox) {
       if (msg.tag != kTagTicket) continue;
-      best[i] = std::min(best[i], {msg.payload.at(0), msg.src});
+      best[i] = std::min(best[i], {msg.payload()[0], msg.src});
     }
   });
 

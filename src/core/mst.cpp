@@ -56,9 +56,10 @@ StrictMstOutput announce_mst_to_home_machines(Cluster& cluster, const Distribute
   rt.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
     for (const auto& msg : inbox) {
       if (msg.tag != kTagAnnounce) continue;
-      out.edges_by_home[i].push_back(WeightedEdge{static_cast<Vertex>(msg.payload.at(0)),
-                                                  static_cast<Vertex>(msg.payload.at(1)),
-                                                  msg.payload.at(2)});
+      KMM_DCHECK(msg.payload_words() >= 3);
+      out.edges_by_home[i].push_back(WeightedEdge{static_cast<Vertex>(msg.payload()[0]),
+                                                  static_cast<Vertex>(msg.payload()[1]),
+                                                  msg.payload()[2]});
     }
     auto& edges = out.edges_by_home[i];
     std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {

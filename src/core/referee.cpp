@@ -44,8 +44,9 @@ RefereeResult referee_connectivity(Cluster& cluster, const DistributedGraph& dg,
         UnionFind uf(n);
         for (const auto& msg : inbox) {
           if (msg.tag == kTagEdge) {
-            uf.unite(static_cast<Vertex>(msg.payload.at(0)),
-                     static_cast<Vertex>(msg.payload.at(1)));
+            KMM_DCHECK(msg.payload_words() >= 2);
+            uf.unite(static_cast<Vertex>(msg.payload()[0]),
+                     static_cast<Vertex>(msg.payload()[1]));
           }
         }
         result.num_components = uf.component_count();

@@ -60,8 +60,9 @@ TwoEdgeResult two_edge_connectivity(Cluster& cluster, const DistributedGraph& dg
   rt.step([&](MachineId i, std::span<const Message> inbox, Outbox&) {
     for (const auto& msg : inbox) {
       if (msg.tag == kTagAnnounceForest) {
-        f1_by_machine[i].emplace_back(static_cast<Vertex>(msg.payload.at(0)),
-                                      static_cast<Vertex>(msg.payload.at(1)));
+        KMM_DCHECK(msg.payload_words() >= 2);
+        f1_by_machine[i].emplace_back(static_cast<Vertex>(msg.payload()[0]),
+                                      static_cast<Vertex>(msg.payload()[1]));
       }
     }
   });
@@ -106,8 +107,9 @@ TwoEdgeResult two_edge_connectivity(Cluster& cluster, const DistributedGraph& dg
         std::vector<WeightedEdge> cert;
         for (const auto& msg : inbox) {
           if (msg.tag != kTagCertificate) continue;
-          const auto u = static_cast<Vertex>(msg.payload.at(0));
-          const auto v = static_cast<Vertex>(msg.payload.at(1));
+          KMM_DCHECK(msg.payload_words() >= 2);
+          const auto u = static_cast<Vertex>(msg.payload()[0]);
+          const auto v = static_cast<Vertex>(msg.payload()[1]);
           cert.push_back(WeightedEdge{std::min(u, v), std::max(u, v), 1});
         }
         std::sort(cert.begin(), cert.end(),

@@ -38,7 +38,7 @@ bool labels_equal(Cluster& cluster, const DistributedGraph& dg, const BoruvkaRes
         bool got = false;
         for (const auto& msg : inbox) {
           if (msg.tag == kTagLabelShip) {
-            shipped = msg.payload.at(0);
+            shipped = msg.payload()[0];
             got = true;
           }
         }

@@ -8,24 +8,44 @@
 //                     (the sequential path; handlers run one machine at a
 //                     time in machine order, so the global send order is the
 //                     classic "for each machine, send" order);
-//  * sharded mode   — writes into a private per-source buffer owned by the
-//                     Runtime; after the superstep barrier the Runtime
-//                     merges shards in ascending machine order, reproducing
-//                     exactly the direct-mode global order regardless of how
-//                     handler execution interleaved across threads.
+//  * sharded mode   — writes into a private per-source OutboxShard owned by
+//                     the Runtime (message buffer + payload arena, both
+//                     capacity-retaining); after the superstep barrier the
+//                     Runtime merges shards in ascending machine order,
+//                     reproducing exactly the direct-mode global order
+//                     regardless of how handler execution interleaved
+//                     across threads.
 //
 // Either way every message reaches Cluster::superstep(), the single
 // delivery/accounting path, so the round/bit ledger cannot diverge between
-// the two execution modes.
+// the two execution modes. Payloads are passed as spans and copied at send
+// time (inline in the Message when <= kInlinePayloadWords, else into the
+// owning arena), so callers may reuse their scratch buffers immediately.
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/message.hpp"
+#include "cluster/payload_arena.hpp"
 #include "util/assert.hpp"
 
 namespace kmm {
+
+/// One machine's private send buffer in sharded mode: the messages plus the
+/// arena backing their spilled payloads. clear() retains the capacity of
+/// both, so a warm shard absorbs a whole superstep without allocating.
+struct OutboxShard {
+  std::vector<Message> messages;
+  PayloadArena arena;
+
+  void clear() noexcept {
+    messages.clear();
+    arena.reset();
+  }
+};
 
 class Outbox {
  public:
@@ -34,32 +54,33 @@ class Outbox {
       : cluster_(&cluster), shard_(nullptr), self_(self), k_(cluster.k()) {}
 
   /// Sharded mode: messages buffer in `shard` until the Runtime merges it.
-  Outbox(std::vector<Message>& shard, MachineId self, MachineId k) noexcept
+  Outbox(OutboxShard& shard, MachineId self, MachineId k) noexcept
       : cluster_(nullptr), shard_(&shard), self_(self), k_(k) {}
 
   [[nodiscard]] MachineId self() const noexcept { return self_; }
   [[nodiscard]] MachineId machines() const noexcept { return k_; }
 
   /// Enqueue a message from this machine for the next delivery. Same
-  /// semantics as Cluster::send with src pinned to self().
-  void send(MachineId dst, std::uint32_t tag, std::vector<std::uint64_t> payload,
+  /// semantics as Cluster::send with src pinned to self(); the payload is
+  /// copied, so the caller's buffer may be reused right away.
+  void send(MachineId dst, std::uint32_t tag, std::span<const std::uint64_t> payload,
             std::uint64_t bits = 0) {
     KMM_CHECK(dst < k_);
     if (cluster_ != nullptr) {
-      cluster_->send(self_, dst, tag, std::move(payload), bits);
+      cluster_->send(self_, dst, tag, payload, bits);
     } else {
-      shard_->push_back(Message{self_, dst, tag, std::move(payload), bits});
+      shard_->messages.push_back(Message::make(self_, dst, tag, payload, bits, shard_->arena));
     }
   }
 
-  void send(Message msg) {
-    KMM_CHECK_MSG(msg.src == self_, "a handler may only send as its own machine");
-    send(msg.dst, msg.tag, std::move(msg.payload), msg.bits);
+  void send(MachineId dst, std::uint32_t tag, std::initializer_list<std::uint64_t> payload,
+            std::uint64_t bits = 0) {
+    send(dst, tag, std::span<const std::uint64_t>(payload.begin(), payload.size()), bits);
   }
 
  private:
   Cluster* cluster_;
-  std::vector<Message>* shard_;
+  OutboxShard* shard_;
   MachineId self_;
   MachineId k_;
 };

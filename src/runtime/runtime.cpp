@@ -13,22 +13,6 @@ unsigned resolve_threads(unsigned requested, MachineId k) {
   return std::min<unsigned>(t, k);
 }
 
-namespace {
-
-/// Adapter turning an ad-hoc handler into a MachineProgram.
-class FnProgram final : public MachineProgram {
- public:
-  explicit FnProgram(const SuperstepFn& fn) noexcept : fn_(&fn) {}
-  void on_superstep(MachineId self, std::span<const Message> inbox, Outbox& out) override {
-    (*fn_)(self, inbox, out);
-  }
-
- private:
-  const SuperstepFn* fn_;
-};
-
-}  // namespace
-
 Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
     : cluster_(&cluster), threads_(resolve_threads(config.threads, cluster.k())) {
   if (threads_ > 1) {
@@ -54,19 +38,16 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
   // the barrier, and the merge below restores the sequential global order.
   pool_->parallel_for(k, [&](std::size_t i) {
     const auto self = static_cast<MachineId>(i);
-    shards_[i].clear();
+    shards_[i].clear();  // buffer and arena capacity retained from last step
     Outbox out(shards_[i], self, k);
     program.on_superstep(self, cluster_->inbox(self), out);
   });
   for (MachineId i = 0; i < k; ++i) {
-    cluster_->enqueue_batch(std::move(shards_[i]));
+    // Re-homes spilled payloads into the cluster's pending arena, so the
+    // shard (messages + arena) is free for reuse next step.
+    cluster_->enqueue_batch(std::move(shards_[i].messages));
   }
   return cluster_->superstep();
-}
-
-std::uint64_t Runtime::step(const SuperstepFn& fn, StepMode mode) {
-  FnProgram program(fn);
-  return step(program, mode);
 }
 
 std::uint64_t Runtime::run(MachineProgram& program, std::uint64_t max_supersteps) {

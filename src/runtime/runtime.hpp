@@ -64,10 +64,12 @@
 // (enforced repo-wide by tests/test_runtime.cpp).
 // ---------------------------------------------------------------------------
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -89,7 +91,27 @@ struct RuntimeConfig {
 [[nodiscard]] unsigned resolve_threads(unsigned requested, MachineId k);
 
 /// Signature of an ad-hoc superstep handler (see Runtime::step overload).
+/// The templated step() accepts any callable with this shape directly — a
+/// std::function is never materialized on the hot path.
 using SuperstepFn = std::function<void(MachineId, std::span<const Message>, Outbox&)>;
+
+namespace detail {
+
+/// Borrows an ad-hoc handler as a MachineProgram for one step — a stack
+/// adapter, so dispatching a lambda superstep allocates nothing.
+template <typename Fn>
+class FnProgram final : public MachineProgram {
+ public:
+  explicit FnProgram(Fn& fn) noexcept : fn_(&fn) {}
+  void on_superstep(MachineId self, std::span<const Message> inbox, Outbox& out) override {
+    (*fn_)(self, inbox, out);
+  }
+
+ private:
+  Fn* fn_;
+};
+
+}  // namespace detail
 
 /// Per-step execution choice. Because the sharded-merge order equals the
 /// sequential order and all accounting is shared, the two modes are
@@ -125,7 +147,14 @@ class Runtime {
   /// Same, with an ad-hoc handler — the porting seam for algorithms written
   /// as explicit superstep sequences rather than one monolithic state
   /// machine (the Borůvka engine drives one of these per protocol segment).
-  std::uint64_t step(const SuperstepFn& fn, StepMode mode = StepMode::kParallel);
+  /// The callable is borrowed for the duration of the call; no
+  /// std::function is constructed, keeping the dispatch allocation-free.
+  template <typename Fn>
+    requires std::invocable<Fn&, MachineId, std::span<const Message>, Outbox&>
+  std::uint64_t step(Fn&& fn, StepMode mode = StepMode::kParallel) {
+    detail::FnProgram<std::remove_reference_t<Fn>> program(fn);
+    return step(program, mode);
+  }
 
   /// Drive `program` until program.done() or `max_supersteps` steps.
   /// Returns total rounds charged.
@@ -134,8 +163,8 @@ class Runtime {
  private:
   Cluster* cluster_;
   unsigned threads_;
-  std::unique_ptr<ThreadPool> pool_;          // null when threads_ == 1
-  std::vector<std::vector<Message>> shards_;  // per-source buffers, reused
+  std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+  std::vector<OutboxShard> shards_;   // per-source buffers + arenas, reused
 };
 
 }  // namespace kmm

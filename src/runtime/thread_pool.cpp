@@ -39,17 +39,19 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_tasks(std::uint64_t generation) {
   for (;;) {
     std::size_t index;
-    const std::function<void(std::size_t)>* job;
+    void (*invoke)(void*, std::size_t);
+    void* ctx;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       // A stale worker (woken late, its generation already drained and
       // replaced) must not claim into the new index space.
       if (generation_ != generation || next_ >= count_) return;
       index = next_++;
-      job = job_;
+      invoke = job_invoke_;
+      ctx = job_ctx_;
     }
     try {
-      (*job)(index);
+      invoke(ctx, index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -61,18 +63,19 @@ void ThreadPool::run_tasks(std::uint64_t generation) {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_impl(std::size_t count, void (*invoke)(void*, std::size_t),
+                                   void* ctx) {
   if (count == 0) return;
   if (workers_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) invoke(ctx, i);
     return;
   }
   std::uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     KMM_CHECK_MSG(remaining_ == 0, "parallel_for is not reentrant");
-    job_ = &fn;
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
     count_ = count;
     next_ = 0;
     remaining_ = count;

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <condition_variable>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace kmm {
@@ -44,10 +45,19 @@ class ThreadPool {
 
   /// Run fn(0), ..., fn(count - 1) across the pool; blocks until every
   /// invocation finished. Not reentrant: fn must not call parallel_for on
-  /// the same pool.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// the same pool. The callable is borrowed by reference for the duration
+  /// of the call (function_ref style) — no type-erasure allocation, so a
+  /// superstep dispatch costs nothing on the heap.
+  template <typename Fn>
+  void parallel_for(std::size_t count, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    parallel_for_impl(
+        count, [](void* ctx, std::size_t i) { (*static_cast<F*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
  private:
+  void parallel_for_impl(std::size_t count, void (*invoke)(void*, std::size_t), void* ctx);
   void worker_loop();
   void run_tasks(std::uint64_t generation);
 
@@ -56,7 +66,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: a new generation is ready
   std::condition_variable done_cv_;  // caller: all tasks of the generation done
-  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mutex_
+  void (*job_invoke_)(void*, std::size_t) = nullptr;  // guarded by mutex_
+  void* job_ctx_ = nullptr;                           // guarded by mutex_
   std::size_t count_ = 0;
   std::size_t next_ = 0;
   std::size_t remaining_ = 0;

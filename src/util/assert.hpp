@@ -27,3 +27,17 @@ namespace kmm {
   do {                                                                \
     if (!(cond)) ::kmm::check_failed(#cond, __FILE__, __LINE__, msg); \
   } while (0)
+
+// Debug-only flavor for hot-path revalidation of invariants that are
+// already enforced at the point of origin (e.g. per-message bounds checks
+// inside the batch-merge loop, whose Outbox producer checked them at send
+// time). Compiles to nothing under -DNDEBUG; use KMM_CHECK wherever the
+// check is the *only* line of defense.
+#ifndef NDEBUG
+#define KMM_DCHECK(cond) KMM_CHECK(cond)
+#else
+#define KMM_DCHECK(cond)        \
+  do {                          \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#endif

@@ -22,6 +22,14 @@ class WordWriter {
   }
   WordWriter& u32(std::uint32_t v) { return u64(v); }
 
+  /// View of the serialized words — the form senders pass to Outbox::send,
+  /// which copies, so the writer may be clear()ed and reused right after.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Reset for reuse, retaining capacity: a per-machine WordWriter that is
+  /// cleared between messages serializes allocation-free in steady state.
+  void clear() noexcept { words_.clear(); }
+
   [[nodiscard]] std::vector<std::uint64_t> take() && { return std::move(words_); }
   [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
 
