@@ -9,6 +9,12 @@ can diff trajectories across commits without scraping per-bench files.
 Usage:
     python3 bench/aggregate_bench.py [--dir BUILD_DIR] [--out OUT.json]
 
+Two input shapes are accepted:
+  * BenchJson output: {"bench": <name>, "records": [...]}
+  * google-benchmark --benchmark_out JSON: {"context": ..., "benchmarks":
+    [...]} (e.g. bench_sketch); folded in as records under the file's
+    BENCH_<name> stem with the microbench fields kept as-is.
+
 Stdlib only; tolerant of missing benches (aggregates whatever is present)
 but fails loudly on malformed JSON so CI can't silently upload a truncated
 trajectory.
@@ -40,8 +46,15 @@ def main() -> int:
     for path in paths:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
-        name = data.get("bench", os.path.basename(path))
-        records = data.get("records", [])
+        if "benchmarks" in data and "records" not in data:
+            # google-benchmark output: keep each benchmark row as a record.
+            stem = os.path.basename(path)
+            stem = stem.removeprefix("BENCH_").removesuffix(".json")
+            name = data.get("bench", stem)
+            records = data["benchmarks"]
+        else:
+            name = data.get("bench", os.path.basename(path))
+            records = data.get("records", [])
         benches[name] = records
         total_records += len(records)
         print(f"  {os.path.basename(path)}: {len(records)} records")

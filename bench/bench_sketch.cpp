@@ -97,6 +97,45 @@ void BM_SerializeRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeRoundtrip);
 
+// The two proxy-side merge paths, head to head: materialize-then-add (the
+// pre-registry representation) vs wire-level add_serialized into a pooled
+// accumulator (the engine's current path).
+void BM_MergeDeserializeAdd(benchmark::State& state) {
+  const auto params = L0Params::for_universe(kUniverse);
+  Rng rng(37);
+  L0Sampler src(kUniverse, params, 41);
+  for (int i = 0; i < 500; ++i) src.update(rng.next_below(kUniverse), 1);
+  WordWriter w;
+  src.serialize(w);
+  const auto words = std::move(w).take();
+  L0Sampler acc(kUniverse, params, 41);
+  for (auto _ : state) {
+    WordReader r(words);
+    acc.add(L0Sampler::deserialize(kUniverse, params, 41, r));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * words.size()));
+}
+BENCHMARK(BM_MergeDeserializeAdd);
+
+void BM_MergeAddSerialized(benchmark::State& state) {
+  const auto params = L0Params::for_universe(kUniverse);
+  Rng rng(37);
+  L0Sampler src(kUniverse, params, 41);
+  for (int i = 0; i < 500; ++i) src.update(rng.next_below(kUniverse), 1);
+  WordWriter w;
+  src.serialize(w);
+  const auto words = std::move(w).take();
+  L0Sampler acc(kUniverse, params, 41);
+  for (auto _ : state) {
+    WordReader r(words);
+    acc.add_serialized(r);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * words.size()));
+}
+BENCHMARK(BM_MergeAddSerialized);
+
 // Success-rate + size report printed once after the timed benchmarks.
 void BM_ReportQuality(benchmark::State& state) {
   int failures = 0;

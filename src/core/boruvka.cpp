@@ -70,19 +70,42 @@ BoruvkaEngine::BoruvkaEngine(Cluster& cluster, const DistributedGraph& dg,
   const MachineId k = cluster_->k();
   machine_parts_.resize(k);
   resend_.resize(k);
-  part_thr_.resize(k);
   proxy_records_.resize(k);
+  sum_slots_.resize(k);
+  sketch_pool_.resize(k);
+  for (MachineId i = 0; i < k; ++i) {
+    machine_parts_[i].reset_universe(n_);
+    resend_[i].reset_universe(n_);
+    proxy_records_[i].reset_universe(n_);
+    sum_slots_[i].reset_universe(n_);
+  }
   writer_.resize(k);
   mask_scratch_.assign(k, std::vector<std::uint64_t>(mask_words()));
+  power_scratch_.resize(k);
+  label_scratch_.resize(k);
+  bit_scratch_.assign(k, 0);
+  seen_scratch_.assign(n_, 0);
   sampler_retries_by_machine_.assign(k, 0);
   labels_.resize(n_);
   finished_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_);
   for (Vertex v = 0; v < n_; ++v) {
     labels_[v] = v;
-    machine_parts_[dg.home(v)][v] = {v};
+    bool created = false;
+    auto& part = machine_parts_[dg.home(v)].get_or_create(v, created);
+    part.clear();
+    part.push_back(v);
   }
   result_.forest_by_machine.resize(k);
   result_.mst_by_machine.resize(k);
+}
+
+const GraphSketchBuilder& BoruvkaEngine::bind_builder(std::uint64_t sketch_seed) {
+  if (builder_.has_value()) {
+    builder_->rebind(sketch_seed);
+  } else {
+    builder_.emplace(n_, sketch_seed, config_.sketch_copies);
+  }
+  return *builder_;
 }
 
 ProxyMap BoruvkaEngine::elimination_proxies(std::uint32_t phase, std::uint32_t t) const {
@@ -107,22 +130,22 @@ void BoruvkaEngine::charge_phase_randomness() {
 
 bool BoruvkaEngine::any_active_parts() {
   const MachineId k = cluster_->k();
-  std::vector<char> bit(k, 0);
+  bit_scratch_.assign(k, 0);
   for (MachineId i = 0; i < k; ++i) {
-    for (const auto& [label, verts] : machine_parts_[i]) {
-      if (!verts.empty() && !finished_[label].load(std::memory_order_relaxed)) {
-        bit[i] = 1;
-        break;
-      }
-    }
+    bit_scratch_[i] =
+        machine_parts_[i].any_of([&](Label label, const std::vector<Vertex>& verts) {
+          return !verts.empty() && !finished_[label].load(std::memory_order_relaxed);
+        })
+            ? 1
+            : 0;
   }
-  return or_reduce_broadcast(runtime_, bit, kTagCtrlActive);
+  return or_reduce_broadcast(runtime_, bit_scratch_, kTagCtrlActive);
 }
 
-void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& out,
+void BoruvkaEngine::send_handoffs(LabelRegistry<Record>& from, Outbox& out,
                                   const ProxyMap& to, WordWriter& w) {
   const std::uint64_t rec_bits = 4 * label_bits_ + 140 + cluster_->k();
-  for (const auto& [label, rec] : from) {
+  from.for_each_sorted([&](Label label, const Record& rec) {
     w.clear();
     w.u64(label)
         .u64(rec.state)
@@ -136,12 +159,15 @@ void BoruvkaEngine::send_handoffs(const std::map<Label, Record>& from, Outbox& o
         .u64(rec.target);
     for (const auto word : rec.srcs) w.u64(word);
     out.send(to.proxy_of(label), kTagHandoff, w.words(), rec_bits);
-  }
+  });
 }
 
-void BoruvkaEngine::apply_handoff(WordReader& reader, std::map<Label, Record>& into) {
+void BoruvkaEngine::apply_handoff(WordReader& reader, LabelRegistry<Record>& into) {
   const Label label = reader.u64();
-  Record rec;
+  bool created = false;
+  Record& rec = into.get_or_create(label, created);
+  KMM_CHECK_MSG(created, "duplicate record in handoff");
+  rec.reset(mask_words());
   rec.state = static_cast<State>(reader.u64());
   rec.parent = reader.u64();
   rec.children_left = static_cast<std::uint32_t>(reader.u64());
@@ -151,54 +177,51 @@ void BoruvkaEngine::apply_handoff(WordReader& reader, std::map<Label, Record>& i
   rec.cand_out = static_cast<Vertex>(reader.u64());
   rec.cand_w = reader.u64();
   rec.target = reader.u64();
-  rec.srcs.resize(mask_words());
   for (auto& word : rec.srcs) word = reader.u64();
-  const auto [it, inserted] = into.emplace(label, std::move(rec));
-  KMM_CHECK_MSG(inserted, "duplicate record in handoff");
-  (void)it;
 }
 
 std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
   const MachineId k = cluster_->k();
   for (MachineId i = 0; i < k; ++i) {
     resend_[i].clear();
-    part_thr_[i].clear();
     proxy_records_[i].clear();
-    for (const auto& [label, verts] : machine_parts_[i]) {
+    machine_parts_[i].for_each([&](Label label, const std::vector<Vertex>& verts) {
       if (!verts.empty() && !finished_[label].load(std::memory_order_relaxed)) {
-        resend_[i].insert(label);
+        bool created = false;
+        resend_[i].get_or_create(label, created) = kNoWeightLimit;
       }
-    }
+    });
   }
 
   for (std::uint32_t t = 0;; ++t) {
     KMM_CHECK_MSG(static_cast<int>(t) < config_.max_elimination_iterations,
                   "outgoing-edge selection failed to converge");
     const ProxyMap prox = elimination_proxies(phase, t);
-    const GraphSketchBuilder builder(n_, shared_.seed(phase, t, seed_purpose::kSketch),
-                                     config_.sketch_copies);
+    const GraphSketchBuilder& builder =
+        bind_builder(shared_.seed(phase, t, seed_purpose::kSketch));
 
     // SS1: each machine sketches its active parts (restricted by the local
     // threshold in MST mode) and, from the second iteration on, hands its
     // proxy records off to the fresh proxy generation. Sketch construction
     // is the engine's dominant local computation — the handlers below are
-    // where threads > 1 pays.
+    // where threads > 1 pays. One pooled sampler per machine absorbs every
+    // part sketch of the iteration.
     runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
-      for (const Label label : resend_[i]) {
-        const auto part_it = machine_parts_[i].find(label);
-        KMM_CHECK(part_it != machine_parts_[i].end());
-        Weight thr = kNoWeightLimit;
-        if (const auto thr_it = part_thr_[i].find(label); thr_it != part_thr_[i].end()) {
-          thr = thr_it->second;
-        }
-        const L0Sampler sketch = builder.sketch_part(*dg_, part_it->second, thr);
+      resend_[i].for_each_sorted([&](Label label, Weight thr) {
+        auto* part = machine_parts_[i].find(label);
+        KMM_CHECK(part != nullptr);
+        auto& pool = sketch_pool_[i];
+        pool.release_all();
+        L0Sampler& sketch =
+            pool.acquire(builder.universe(), builder.params(), builder.seed());
+        builder.accumulate_part(*dg_, *part, thr, sketch, power_scratch_[i]);
         auto& w = writer_[i];
         w.clear();
         w.u64(label);
         sketch.serialize(w);
         out.send(prox.proxy_of(label), kTagSketch, w.words(),
                  label_bits_ + sketch.wire_bits());
-      }
+      });
       resend_[i].clear();
       if (t >= 1) {
         send_handoffs(proxy_records_[i], out, prox, writer_[i]);
@@ -208,7 +231,9 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
 
     // Proxy side: apply handoffs first so records exist before this
     // iteration's sketches are merged, then sum per-label sketches and run
-    // the state transitions on the combined result.
+    // the state transitions on the combined result. Incoming sketches are
+    // merged wire-level: serialized cells add straight off the payload into
+    // a pooled accumulator (add_serialized) — no per-message deserialize.
     runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
       for (const auto& msg : inbox) {
         if (msg.tag == kTagHandoff) {
@@ -216,28 +241,33 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
           apply_handoff(r, proxy_records_[i]);
         }
       }
-      std::map<Label, L0Sampler> sums;
+      auto& sums = sum_slots_[i];
+      auto& pool = sketch_pool_[i];
+      sums.clear();
+      pool.release_all();
       for (const auto& msg : inbox) {
         if (msg.tag != kTagSketch) continue;
         WordReader r(msg.payload());
         const Label label = r.u64();
-        const L0Sampler part = L0Sampler::deserialize(builder.universe(), builder.params(),
-                                                      builder.seed(), r);
-        auto rec_it = proxy_records_[i].find(label);
-        if (rec_it == proxy_records_[i].end()) {
-          Record fresh;
-          fresh.parent = label;
-          fresh.srcs.assign(mask_words(), 0);
-          rec_it = proxy_records_[i].emplace(label, std::move(fresh)).first;
+        bool created = false;
+        Record& rec = proxy_records_[i].get_or_create(label, created);
+        if (created) {
+          rec.reset(mask_words());
+          rec.parent = label;
         }
-        mask_set(rec_it->second.srcs, msg.src);
-        const auto [sum_it, fresh_sum] = sums.emplace(label, builder.empty_sketch());
-        (void)fresh_sum;
-        sum_it->second.add(part);
+        mask_set(rec.srcs, msg.src);
+        bool sum_created = false;
+        std::uint32_t& sum_idx = sums.get_or_create(label, sum_created);
+        if (sum_created) {
+          sum_idx = pool.acquire_index(builder.universe(), builder.params(), builder.seed());
+        }
+        pool.at(sum_idx).add_serialized(r);
       }
 
-      // State transitions for components whose combined sketch arrived.
-      for (auto& [label, sum] : sums) {
+      // State transitions for components whose combined sketch arrived, in
+      // ascending label order (the wire order the ledger pins).
+      sums.for_each_sorted([&](Label label, std::uint32_t sum_idx) {
+        L0Sampler& sum = pool.at(sum_idx);
         Record& rec = proxy_records_[i].at(label);
         KMM_CHECK(rec.state == kSearching);
         if (sum.is_zero()) {
@@ -252,7 +282,7 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
               out.send(m, kTagDirective, {label, kDirectiveFinished, 0}, label_bits_ + 2);
             });
           }
-          continue;
+          return;
         }
         const auto sampled = sum.sample();
         if (!sampled) {
@@ -262,7 +292,7 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
             out.send(m, kTagDirective, {label, kDirectiveContinue, rec.thr},
                      label_bits_ + 66);
           });
-          continue;
+          return;
         }
         const auto [x, y] = builder.decode(sampled->index);
         rec.cand_in = sampled->value > 0 ? x : y;
@@ -277,7 +307,7 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
           out.send(dg_->home(rec.cand_in), kTagWeightQuery,
                    {label, rec.cand_in, rec.cand_out}, 3 * label_bits_);
         }
-      }
+      });
     });
 
     // SS2: home machines answer queries; part machines apply directives
@@ -315,8 +345,8 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
             if (msg.payload()[1] == kDirectiveFinished) {
               finished_[label].store(1, std::memory_order_relaxed);
             } else {
-              resend_[i].insert(label);
-              part_thr_[i][label] = msg.payload()[2];
+              bool created = false;
+              resend_[i].get_or_create(label, created) = msg.payload()[2];
             }
             break;
           }
@@ -365,24 +395,23 @@ std::uint32_t BoruvkaEngine::run_elimination_loop(std::uint32_t phase) {
             if (msg.payload()[1] == kDirectiveFinished) {
               finished_[label].store(1, std::memory_order_relaxed);
             } else {
-              resend_[i].insert(label);
-              part_thr_[i][label] = msg.payload()[2];
+              bool created = false;
+              resend_[i].get_or_create(label, created) = msg.payload()[2];
             }
           }
         },
         StepMode::kInline);
 
-    std::vector<char> busy(k, 0);
+    bit_scratch_.assign(k, 0);
     for (MachineId i = 0; i < k; ++i) {
-      for (const auto& [label, rec] : proxy_records_[i]) {
-        if (rec.state == kSearching || rec.state == kAwaitWeight ||
-            rec.state == kAwaitLabel) {
-          busy[i] = 1;
-          break;
-        }
-      }
+      bit_scratch_[i] = proxy_records_[i].any_of([](Label, const Record& rec) {
+        return rec.state == kSearching || rec.state == kAwaitWeight ||
+               rec.state == kAwaitLabel;
+      })
+                            ? 1
+                            : 0;
     }
-    if (!or_reduce_broadcast(runtime_, busy, kTagCtrlElim)) return t;
+    if (!or_reduce_broadcast(runtime_, bit_scratch_, kTagCtrlElim)) return t;
   }
 }
 
@@ -391,11 +420,12 @@ void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
   const std::uint64_t rank_seed = shared_.seed(phase, 0, seed_purpose::kRank);
 
   runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
-    std::vector<Label> finished_records;
-    for (auto& [label, rec] : proxy_records_[i]) {
+    auto& finished_records = label_scratch_[i];
+    finished_records.clear();
+    proxy_records_[i].for_each_sorted([&](Label label, Record& rec) {
       if (rec.state == kFinishedState) {
         finished_records.push_back(label);
-        continue;
+        return;
       }
       KMM_CHECK(rec.state == kDone);
       if (mode_ == BoruvkaMode::kMst) {
@@ -420,7 +450,7 @@ void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
       } else {
         rec.parent = label;  // root of its merge tree
       }
-    }
+    });
     for (const Label label : finished_records) proxy_records_[i].erase(label);
   });
 
@@ -430,10 +460,10 @@ void BoruvkaEngine::run_drr_step(std::uint32_t phase, std::uint32_t proxy_gen) {
         for (const auto& msg : inbox) {
           if (msg.tag != kTagChildReg) continue;
           const Label parent = msg.payload()[1];
-          const auto it = proxy_records_[i].find(parent);
-          KMM_CHECK_MSG(it != proxy_records_[i].end(),
+          Record* rec = proxy_records_[i].find(parent);
+          KMM_CHECK_MSG(rec != nullptr,
                         "child registered with an unknown parent component");
-          ++it->second.children_left;
+          ++rec->children_left;
         }
       },
       StepMode::kInline);
@@ -444,16 +474,14 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
   const MachineId k = cluster_->k();
   std::uint32_t rho = 0;
   while (true) {
-    std::vector<char> pending(k, 0);
+    bit_scratch_.assign(k, 0);
     for (MachineId i = 0; i < k; ++i) {
-      for (const auto& [label, rec] : proxy_records_[i]) {
-        if (rec.parent != label) {
-          pending[i] = 1;
-          break;
-        }
-      }
+      bit_scratch_[i] = proxy_records_[i].any_of(
+                            [](Label label, const Record& rec) { return rec.parent != label; })
+                            ? 1
+                            : 0;
     }
-    if (!or_reduce_broadcast(runtime_, pending, kTagCtrlMerge)) break;
+    if (!or_reduce_broadcast(runtime_, bit_scratch_, kTagCtrlMerge)) break;
     ++rho;
     KMM_CHECK_MSG(static_cast<int>(rho) < config_.max_merge_iterations,
                   "merge loop failed to converge");
@@ -474,9 +502,10 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
           apply_handoff(r, proxy_records_[i]);
         }
       }
-      std::vector<Label> merged;
-      for (const auto& [label, rec] : proxy_records_[i]) {
-        if (rec.parent == label || rec.children_left != 0) continue;
+      auto& merged = label_scratch_[i];
+      merged.clear();
+      proxy_records_[i].for_each_sorted([&](Label label, const Record& rec) {
+        if (rec.parent == label || rec.children_left != 0) return;
         if (mode_ == BoruvkaMode::kConnectivity) {
           const Vertex u = std::min(rec.cand_in, rec.cand_out);
           const Vertex v = std::max(rec.cand_in, rec.cand_out);
@@ -492,7 +521,7 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
         out.send(prox.proxy_of(rec.parent), kTagChildDone, w.words(),
                  label_bits_ + cluster_->k() + 16);
         merged.push_back(label);
-      }
+      });
       for (const Label label : merged) proxy_records_[i].erase(label);
     });
 
@@ -502,16 +531,16 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
           relabel_part(i, msg.payload()[0], msg.payload()[1]);
         } else if (msg.tag == kTagChildDone) {
           const Label parent = msg.payload()[0];
-          const auto it = proxy_records_[i].find(parent);
-          KMM_CHECK_MSG(it != proxy_records_[i].end(), "child-done for unknown parent");
-          KMM_CHECK(it->second.children_left > 0);
-          --it->second.children_left;
+          Record* rec = proxy_records_[i].find(parent);
+          KMM_CHECK_MSG(rec != nullptr, "child-done for unknown parent");
+          KMM_CHECK(rec->children_left > 0);
+          --rec->children_left;
           auto& child_srcs = mask_scratch_[i];
           KMM_DCHECK(msg.payload_words() >= 1 + child_srcs.size());
           for (std::size_t wi = 0; wi < child_srcs.size(); ++wi) {
             child_srcs[wi] = msg.payload()[1 + wi];
           }
-          mask_or(it->second.srcs, child_srcs);
+          mask_or(rec->srcs, child_srcs);
         }
       }
     });
@@ -521,22 +550,25 @@ std::uint32_t BoruvkaEngine::run_merge_loop(std::uint32_t phase, std::uint32_t l
 }
 
 void BoruvkaEngine::relabel_part(MachineId machine, Label from, Label to) {
+  KMM_DCHECK(from != to);
   auto& parts = machine_parts_[machine];
-  const auto from_it = parts.find(from);
-  KMM_CHECK_MSG(from_it != parts.end(), "relabel for a part this machine does not hold");
-  auto moved = std::move(from_it->second);
-  parts.erase(from_it);
-  for (const Vertex v : moved) labels_[v] = to;
-  auto& dst = parts[to];
-  dst.insert(dst.end(), moved.begin(), moved.end());
+  KMM_CHECK_MSG(parts.contains(from), "relabel for a part this machine does not hold");
+  bool created = false;
+  auto& dst = parts.get_or_create(to, created);
+  if (created) dst.clear();
+  // Re-find after get_or_create: slot storage may have grown.
+  const auto& src = *parts.find(from);
+  for (const Vertex v : src) labels_[v] = to;
+  dst.insert(dst.end(), src.begin(), src.end());
+  parts.erase(from);
 }
 
-std::uint64_t BoruvkaEngine::count_distinct_labels() const {
-  std::vector<char> seen(n_, 0);
+std::uint64_t BoruvkaEngine::count_distinct_labels() {
+  seen_scratch_.assign(n_, 0);
   std::uint64_t count = 0;
   for (const Label label : labels_) {
-    if (!seen[label]) {
-      seen[label] = 1;
+    if (!seen_scratch_[label]) {
+      seen_scratch_[label] = 1;
       ++count;
     }
   }
@@ -547,16 +579,19 @@ void BoruvkaEngine::run_component_count() {
   const MachineId k = cluster_->k();
   const ProxyMap prox(shared_.seed(0xC017, 0, seed_purpose::kProxy), k);
   runtime_.step([&](MachineId i, std::span<const Message>, Outbox& out) {
-    for (const auto& [label, verts] : machine_parts_[i]) {
+    machine_parts_[i].for_each_sorted([&](Label label, const std::vector<Vertex>& verts) {
       if (!verts.empty()) out.send(prox.proxy_of(label), kTagCountProxy, {label}, label_bits_);
-    }
+    });
   });
   runtime_.step([&](MachineId i, std::span<const Message> inbox, Outbox& out) {
-    (void)i;
-    std::set<Label> distinct;
+    // sort + unique reproduces the ordered-set iteration the wire expects.
+    auto& distinct = label_scratch_[i];
+    distinct.clear();
     for (const auto& msg : inbox) {
-      if (msg.tag == kTagCountProxy) distinct.insert(msg.payload()[0]);
+      if (msg.tag == kTagCountProxy) distinct.push_back(msg.payload()[0]);
     }
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
     for (const Label label : distinct) {
       out.send(0, kTagCountRoot, {label}, label_bits_);
     }
@@ -566,10 +601,13 @@ void BoruvkaEngine::run_component_count() {
   runtime_.step(
       [&](MachineId i, std::span<const Message> inbox, Outbox& out) {
         if (i != 0) return;
-        std::set<Label> all;
+        auto& all = label_scratch_[0];
+        all.clear();
         for (const auto& msg : inbox) {
-          if (msg.tag == kTagCountRoot) all.insert(msg.payload()[0]);
+          if (msg.tag == kTagCountRoot) all.push_back(msg.payload()[0]);
         }
+        std::sort(all.begin(), all.end());
+        all.erase(std::unique(all.begin(), all.end()), all.end());
         count = all.size();
         for (MachineId j = 1; j < out.machines(); ++j) {
           out.send(j, kTagCountBcast, {count}, 64);

@@ -27,6 +27,30 @@
 // atomics. The cluster ledger is identical for every thread count (see
 // runtime/runtime.hpp for why, and tests/test_runtime.cpp for proof).
 //
+// Registry contract (the allocation-free sketch plane, mirroring the
+// message plane of PR 3): all per-machine and proxy-side component state
+// lives in LabelRegistry instances — flat label -> slot tables with
+// free-list slot recycling and a sorted touched-list for iteration — never
+// in tree maps. The rules that keep the ledger bit-identical and the steady
+// state allocation-free:
+//
+//  * every loop that *emits messages* iterates via for_each_sorted(), which
+//    reproduces the ordered-map ascending-label order exactly (the golden
+//    ledger in tests/test_golden_stats.cpp pins this); order-independent
+//    scans use the cheaper for_each();
+//  * registries, sketch pools (SketchPool), WordWriters, and all scratch
+//    vectors are machine-indexed members — a handler touches only slot i,
+//    which is what makes the handlers race-free without locks;
+//  * cleared containers retain capacity (registry clear() recycles slots
+//    with their payload storage; Record::reset re-assigns the machine mask
+//    in place), so iteration t+1 reuses iteration t's memory: after warmup
+//    an elimination iteration performs zero heap allocations
+//    (tests/test_alloc_steady_state.cpp and bench_boruvka_hotpath measure
+//    this);
+//  * incoming sketches are merged wire-level — L0Sampler::add_serialized
+//    adds 3-word cells straight off the message payload into a pooled
+//    accumulator; no per-message sketch is ever materialized.
+//
 // Modes:
 //  * kConnectivity — samples any outgoing edge; merge edges form a spanning
 //    forest (each edge recorded by the proxy machine that performed the
@@ -39,10 +63,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -50,8 +72,10 @@
 #include "cluster/proxy.hpp"
 #include "cluster/shared_randomness.hpp"
 #include "core/common.hpp"
+#include "core/label_registry.hpp"
 #include "runtime/runtime.hpp"
 #include "sketch/graph_sketch.hpp"
+#include "sketch/sketch_pool.hpp"
 
 namespace kmm {
 
@@ -133,10 +157,12 @@ class BoruvkaEngine {
   };
 
   /// Proxy-side component record; travels between proxy generations in
-  /// handoff messages.
+  /// handoff messages. Lives in a LabelRegistry slot, so a recycled record
+  /// must be reset() before use — the srcs mask is re-assigned in place
+  /// (equal size), keeping slot reuse allocation-free.
   struct Record {
     State state = kSearching;
-    Label parent;                  // == label for roots
+    Label parent = 0;              // == label for roots
     std::uint32_t children_left = 0;
     Weight thr = kNoWeightLimit;   // MST elimination threshold
     bool has_candidate = false;
@@ -144,6 +170,18 @@ class BoruvkaEngine {
     Weight cand_w = 0;
     Label target = 0;              // label on the other side of the edge
     std::vector<std::uint64_t> srcs;  // k-bit mask of machines holding parts
+
+    void reset(std::size_t mask_words) {
+      state = kSearching;
+      parent = 0;
+      children_left = 0;
+      thr = kNoWeightLimit;
+      has_candidate = false;
+      cand_in = cand_out = 0;
+      cand_w = 0;
+      target = 0;
+      srcs.assign(mask_words, 0);
+    }
   };
 
   // -- phase steps ---------------------------------------------------------
@@ -157,11 +195,14 @@ class BoruvkaEngine {
   // -- helpers -------------------------------------------------------------
   [[nodiscard]] ProxyMap elimination_proxies(std::uint32_t phase, std::uint32_t t) const;
   [[nodiscard]] ProxyMap merge_proxies(std::uint32_t phase, std::uint32_t rho) const;
-  void send_handoffs(const std::map<Label, Record>& from, Outbox& out, const ProxyMap& to,
+  /// Bind (or rebind) the long-lived sketch builder to this iteration's
+  /// shared seed; allocation-free after the first call.
+  const GraphSketchBuilder& bind_builder(std::uint64_t sketch_seed);
+  void send_handoffs(LabelRegistry<Record>& from, Outbox& out, const ProxyMap& to,
                      WordWriter& w);
-  void apply_handoff(WordReader& reader, std::map<Label, Record>& into);
+  void apply_handoff(WordReader& reader, LabelRegistry<Record>& into);
   void relabel_part(MachineId machine, Label from, Label to);
-  [[nodiscard]] std::uint64_t count_distinct_labels() const;  // instrumentation only
+  [[nodiscard]] std::uint64_t count_distinct_labels();  // instrumentation only
 
   [[nodiscard]] std::size_t mask_words() const { return (cluster_->k() + 63) / 64; }
   static void mask_set(std::vector<std::uint64_t>& mask, MachineId m) {
@@ -192,12 +233,14 @@ class BoruvkaEngine {
   std::uint64_t label_bits_;  // wire bits of one label / vertex id
   Runtime runtime_;           // parallel superstep executor over cluster_
 
-  // Home-machine state. All vectors below are indexed by machine and each
-  // superstep handler touches only its own slot — the property that makes
-  // the per-machine handlers race-free without locks.
-  std::vector<std::map<Label, std::vector<Vertex>>> machine_parts_;
-  std::vector<std::set<Label>> resend_;  // labels to re-sketch next iteration
-  std::vector<std::map<Label, Weight>> part_thr_;  // per-machine thresholds
+  // Home-machine state. All containers below are indexed by machine and
+  // each superstep handler touches only its own slot — the property that
+  // makes the per-machine handlers race-free without locks. Registries are
+  // flat and capacity-retaining (see the registry contract above).
+  std::vector<LabelRegistry<std::vector<Vertex>>> machine_parts_;
+  // Labels to re-sketch next iteration; the payload is the current MST
+  // elimination threshold (kNoWeightLimit in connectivity mode / on entry).
+  std::vector<LabelRegistry<Weight>> resend_;
   std::vector<Label> labels_;    // labels_[v], authoritative at home(v)
   // finished_[label]: set (0 -> 1 only) concurrently by every part machine
   // receiving the finish directive; atomic because several machines may
@@ -206,13 +249,26 @@ class BoruvkaEngine {
   std::vector<std::uint64_t> sampler_retries_by_machine_;
 
   // Proxy-side records for the current proxy generation.
-  std::vector<std::map<Label, Record>> proxy_records_;
+  std::vector<LabelRegistry<Record>> proxy_records_;
+  // Per-superstep proxy accumulators: label -> pooled sketch index; lives
+  // only within the proxy handler of one elimination iteration.
+  std::vector<LabelRegistry<std::uint32_t>> sum_slots_;
+  // Recycled L0Sampler storage: SS1 part sketches and proxy-side sums both
+  // draw zeroed accumulators from here instead of constructing sketches.
+  std::vector<SketchPool> sketch_pool_;
+  // One builder for the whole run, rebound per iteration (power tables
+  // recomputed in place); read-only inside handlers.
+  std::optional<GraphSketchBuilder> builder_;
 
-  // Per-machine payload serialization scratch (machine-indexed like the
-  // state above, so handlers stay race-free); cleared between messages,
-  // capacity retained, so steady-state serialization is allocation-free.
+  // Per-machine scratch (machine-indexed like the state above, so handlers
+  // stay race-free); cleared between uses with capacity retained, so the
+  // steady state allocates nothing.
   std::vector<WordWriter> writer_;
-  std::vector<std::vector<std::uint64_t>> mask_scratch_;  // child-src masks
+  std::vector<std::vector<std::uint64_t>> mask_scratch_;   // child-src masks
+  std::vector<std::vector<std::uint64_t>> power_scratch_;  // fingerprint powers
+  std::vector<std::vector<Label>> label_scratch_;  // finished/merged/count lists
+  std::vector<char> bit_scratch_;   // per-machine flags for the OR-reduces
+  std::vector<char> seen_scratch_;  // per-vertex marks for label counting
 
   BoruvkaResult result_;
 };

@@ -134,39 +134,49 @@ std::uint64_t stoer_wagner_min_cut(const Graph& g) {
   const std::size_t n = g.num_vertices();
   if (n < 2 || !is_connected(g)) return 0;
 
-  // Dense adjacency of merged super-vertices.
-  std::vector<std::vector<std::uint64_t>> w(n, std::vector<std::uint64_t>(n, 0));
+  // Dense adjacency of merged super-vertices: one contiguous n*n buffer
+  // (row stride n), so MA-order scans walk cache lines instead of chasing
+  // per-row heap blocks.
+  std::vector<std::uint64_t> w(n * n, 0);
   for (const auto& e : g.edges()) {
-    w[e.u][e.v] += e.w;
-    w[e.v][e.u] += e.w;
+    w[e.u * n + e.v] += e.w;
+    w[e.v * n + e.u] += e.w;
   }
   std::vector<std::size_t> active(n);
   for (std::size_t i = 0; i < n; ++i) active[i] = i;
 
+  // MA-order scratch, reused across contractions (shrunk to the active
+  // prefix each round).
+  std::vector<std::uint64_t> conn(n, 0);
+  std::vector<char> added(n, 0);
+
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
   while (active.size() > 1) {
+    const std::size_t m = active.size();
     // Maximum-adjacency order over the active super-vertices.
-    std::vector<std::uint64_t> conn(active.size(), 0);
-    std::vector<bool> added(active.size(), false);
+    std::fill(conn.begin(), conn.begin() + static_cast<std::ptrdiff_t>(m), 0);
+    std::fill(added.begin(), added.begin() + static_cast<std::ptrdiff_t>(m), 0);
     std::size_t prev = 0, last = 0;
-    for (std::size_t step = 0; step < active.size(); ++step) {
-      std::size_t pick = active.size();
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (!added[i] && (pick == active.size() || conn[i] > conn[pick])) pick = i;
+    for (std::size_t step = 0; step < m; ++step) {
+      std::size_t pick = m;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!added[i] && (pick == m || conn[i] > conn[pick])) pick = i;
       }
-      added[pick] = true;
+      added[pick] = 1;
       prev = last;
       last = pick;
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (!added[i]) conn[i] += w[active[pick]][active[i]];
+      const std::uint64_t* row = &w[active[pick] * n];
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!added[i]) conn[i] += row[active[i]];
       }
     }
     best = std::min(best, conn[last]);
-    // Merge `last` into `prev`.
+    // Merge `last` into `prev`. Only active rows/columns are ever read
+    // again, so the merge loops touch the active set instead of all n.
     const std::size_t a = active[prev], b = active[last];
-    for (std::size_t i = 0; i < n; ++i) {
-      w[a][i] += w[b][i];
-      w[i][a] += w[i][b];
+    for (const std::size_t i : active) {
+      w[a * n + i] += w[b * n + i];
+      w[i * n + a] += w[i * n + b];
     }
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
   }

@@ -27,6 +27,7 @@
 #include "core/connectivity.hpp"
 #include "core/drr.hpp"
 #include "core/flooding.hpp"
+#include "core/label_registry.hpp"
 #include "core/leader_election.hpp"
 #include "core/mincut.hpp"
 #include "core/mst.hpp"
@@ -49,5 +50,6 @@
 #include "sketch/graph_sketch.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"
+#include "sketch/sketch_pool.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"

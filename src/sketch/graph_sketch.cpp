@@ -11,20 +11,26 @@ GraphSketchBuilder::GraphSketchBuilder(std::size_t n, std::uint64_t seed, int co
       params_(L0Params::for_universe(static_cast<std::uint64_t>(n) * n, copies)),
       seed_(seed) {
   KMM_CHECK(n >= 2);
-  const L0Sampler probe(universe_, params_, seed_);
   pow_low_.resize(static_cast<std::size_t>(params_.copies));
   pow_high_.resize(static_cast<std::size_t>(params_.copies));
   for (int c = 0; c < params_.copies; ++c) {
-    const std::uint64_t r = probe.fingerprint_base(c);
+    pow_low_[static_cast<std::size_t>(c)].resize(n);
+    pow_high_[static_cast<std::size_t>(c)].resize(n);
+  }
+  rebind(seed);
+}
+
+void GraphSketchBuilder::rebind(std::uint64_t seed) {
+  seed_ = seed;
+  for (int c = 0; c < params_.copies; ++c) {
+    const std::uint64_t r = L0Sampler::fingerprint_base_for(seed_, c);
     auto& low = pow_low_[static_cast<std::size_t>(c)];
     auto& high = pow_high_[static_cast<std::size_t>(c)];
-    low.resize(n);
-    high.resize(n);
     low[0] = 1;
-    for (std::size_t y = 1; y < n; ++y) low[y] = fp::mul(low[y - 1], r);
-    const std::uint64_t r_n = fp::mul(low[n - 1], r);  // r^n
+    for (std::size_t y = 1; y < n_; ++y) low[y] = fp::mul(low[y - 1], r);
+    const std::uint64_t r_n = fp::mul(low[n_ - 1], r);  // r^n
     high[0] = 1;
-    for (std::size_t x = 1; x < n; ++x) high[x] = fp::mul(high[x - 1], r_n);
+    for (std::size_t x = 1; x < n_; ++x) high[x] = fp::mul(high[x - 1], r_n);
   }
 }
 
@@ -33,8 +39,7 @@ L0Sampler GraphSketchBuilder::empty_sketch() const {
 }
 
 void GraphSketchBuilder::accumulate(const DistributedGraph& dg, Vertex u, Weight max_weight,
-                                    L0Sampler& sink) const {
-  std::vector<std::uint64_t> powers(static_cast<std::size_t>(params_.copies));
+                                    L0Sampler& sink, std::uint64_t* powers) const {
   for (const auto& he : dg.neighbors(u)) {
     if (he.weight > max_weight) continue;
     const Vertex x = u < he.to ? u : he.to;
@@ -42,18 +47,27 @@ void GraphSketchBuilder::accumulate(const DistributedGraph& dg, Vertex u, Weight
     const std::uint64_t index = static_cast<std::uint64_t>(x) * n_ + y;
     const int value = u == x ? 1 : -1;
     for (int c = 0; c < params_.copies; ++c) {
-      powers[static_cast<std::size_t>(c)] =
-          fp::mul(pow_high_[static_cast<std::size_t>(c)][x],
-                  pow_low_[static_cast<std::size_t>(c)][y]);
+      powers[c] = fp::mul(pow_high_[static_cast<std::size_t>(c)][x],
+                          pow_low_[static_cast<std::size_t>(c)][y]);
     }
-    sink.update(index, value, powers.data());
+    sink.update(index, value, powers);
   }
+}
+
+void GraphSketchBuilder::accumulate_part(const DistributedGraph& dg,
+                                         std::span<const Vertex> part, Weight max_weight,
+                                         L0Sampler& sink,
+                                         std::vector<std::uint64_t>& power_scratch) const {
+  KMM_DCHECK(sink.universe() == universe_ && sink.seed() == seed_);
+  power_scratch.resize(static_cast<std::size_t>(params_.copies));
+  for (const Vertex u : part) accumulate(dg, u, max_weight, sink, power_scratch.data());
 }
 
 L0Sampler GraphSketchBuilder::sketch_vertex(const DistributedGraph& dg, Vertex u,
                                             Weight max_weight) const {
   L0Sampler s = empty_sketch();
-  accumulate(dg, u, max_weight, s);
+  std::vector<std::uint64_t> powers(static_cast<std::size_t>(params_.copies));
+  accumulate(dg, u, max_weight, s, powers.data());
   return s;
 }
 
@@ -61,7 +75,8 @@ L0Sampler GraphSketchBuilder::sketch_part(const DistributedGraph& dg,
                                           std::span<const Vertex> part,
                                           Weight max_weight) const {
   L0Sampler s = empty_sketch();
-  for (const Vertex u : part) accumulate(dg, u, max_weight, s);
+  std::vector<std::uint64_t> powers(static_cast<std::size_t>(params_.copies));
+  for (const Vertex u : part) accumulate(dg, u, max_weight, s, powers.data());
   return s;
 }
 

@@ -35,6 +35,12 @@ class GraphSketchBuilder {
   /// trades failure probability against sketch size.
   GraphSketchBuilder(std::size_t n, std::uint64_t seed, int copies = 3);
 
+  /// Rebind to a new per-iteration seed: recomputes the fingerprint power
+  /// tables in place (O(n * copies) field mults, zero allocations), so a
+  /// long-lived builder costs no heap traffic per iteration. n and copies
+  /// are fixed at construction.
+  void rebind(std::uint64_t seed);
+
   /// Sketch of a single vertex's incidence vector, restricted to edges of
   /// weight <= max_weight.
   [[nodiscard]] L0Sampler sketch_vertex(const DistributedGraph& dg, Vertex u,
@@ -45,6 +51,15 @@ class GraphSketchBuilder {
   [[nodiscard]] L0Sampler sketch_part(const DistributedGraph& dg,
                                       std::span<const Vertex> part,
                                       Weight max_weight = kNoWeightLimit) const;
+
+  /// Allocation-free flavor: accumulate the part into a caller-provided
+  /// (typically pooled) sampler, using caller-owned scratch for the per-edge
+  /// fingerprint powers. `sink` must be zeroed and bound to this builder's
+  /// (universe, params, seed); `power_scratch` is resized to `copies` once
+  /// and reused across calls. The engine's SS1 hot path.
+  void accumulate_part(const DistributedGraph& dg, std::span<const Vertex> part,
+                       Weight max_weight, L0Sampler& sink,
+                       std::vector<std::uint64_t>& power_scratch) const;
 
   /// An empty sketch with this builder's construction parameters
   /// (accumulator for proxy-side summation / deserialization target).
@@ -58,8 +73,11 @@ class GraphSketchBuilder {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
  private:
-  void accumulate(const DistributedGraph& dg, Vertex u, Weight max_weight,
-                  L0Sampler& sink) const;
+  /// `powers` is caller scratch with one slot per sampler copy — hoisted out
+  /// so a part's (or a whole iteration's) vertices share one buffer instead
+  /// of re-allocating it per vertex.
+  void accumulate(const DistributedGraph& dg, Vertex u, Weight max_weight, L0Sampler& sink,
+                  std::uint64_t* powers) const;
 
   std::size_t n_;
   std::uint64_t universe_;

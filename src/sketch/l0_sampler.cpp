@@ -1,5 +1,7 @@
 #include "sketch/l0_sampler.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/prime_field.hpp"
 
@@ -21,8 +23,12 @@ L0Sampler::L0Sampler(std::uint64_t universe, L0Params params, std::uint64_t seed
 }
 
 std::uint64_t L0Sampler::fingerprint_base(int copy) const {
+  return fingerprint_base_for(seed_, copy);
+}
+
+std::uint64_t L0Sampler::fingerprint_base_for(std::uint64_t seed, int copy) {
   // Nonzero field element derived from the shared seed.
-  return 2 + split3(seed_, 0xf1a9, static_cast<std::uint64_t>(copy)) % (kMersenne61 - 2);
+  return 2 + split3(seed, 0xf1a9, static_cast<std::uint64_t>(copy)) % (kMersenne61 - 2);
 }
 
 std::uint64_t L0Sampler::level_seed(int copy) const {
@@ -61,6 +67,20 @@ void L0Sampler::add(const L0Sampler& other) {
   for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].add(other.cells_[i]);
 }
 
+void L0Sampler::add_serialized(WordReader& reader) {
+  const auto raw = reader.span(cells_.size() * 3);
+  const std::uint64_t* words = raw.data();
+  for (auto& cell : cells_) {
+    cell.add_raw(static_cast<std::int64_t>(words[0]), words[1], words[2]);
+    words += 3;
+  }
+}
+
+void L0Sampler::reset(std::uint64_t seed) noexcept {
+  seed_ = seed;
+  std::fill(cells_.begin(), cells_.end(), OneSparseCell{});
+}
+
 std::optional<Recovered> L0Sampler::sample() const {
   // Scan levels from the full vector downward in sampling rate; the first
   // verified 1-sparse cell yields the sample. Copies give independence.
@@ -87,6 +107,7 @@ std::uint64_t L0Sampler::wire_bits() const {
 }
 
 void L0Sampler::serialize(WordWriter& out) const {
+  out.reserve(out.size() + cells_.size() * 3);
   for (const auto& cell : cells_) {
     out.u64(static_cast<std::uint64_t>(cell.s0()));
     out.u64(cell.s1());

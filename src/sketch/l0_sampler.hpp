@@ -54,6 +54,17 @@ class L0Sampler {
   /// Linear combination; other must share (universe, params, seed).
   void add(const L0Sampler& other);
 
+  /// Linear combination with a sketch in wire form: adds the serialized
+  /// cells straight off `reader` (3 words per cell, one bounds check),
+  /// without materializing the sending sketch. Exactly equivalent to
+  /// deserialize() + add(), minus the heap-allocated intermediate — the
+  /// proxy-side merge path of the Borůvka engine.
+  void add_serialized(WordReader& reader);
+
+  /// Re-zero all cells and rebind to `seed`, retaining cell storage — the
+  /// SketchPool recycling hook (universe/params stay fixed).
+  void reset(std::uint64_t seed) noexcept;
+
   /// Recover some nonzero index, or nullopt if the vector appears empty /
   /// recovery failed everywhere (probability polynomially small for
   /// nonzero vectors).
@@ -67,6 +78,9 @@ class L0Sampler {
 
   /// Fingerprint base of copy c (needed by power-table builders).
   [[nodiscard]] std::uint64_t fingerprint_base(int copy) const;
+  /// Same derivation without an instance — power-table builders rebind to a
+  /// new seed without constructing a probe sampler.
+  [[nodiscard]] static std::uint64_t fingerprint_base_for(std::uint64_t seed, int copy);
   /// Level-hash seed of copy c.
   [[nodiscard]] std::uint64_t level_seed(int copy) const;
   /// Level (0..levels-1) that index participates up to, in copy c.

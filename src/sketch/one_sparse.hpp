@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "util/prime_field.hpp"
 
@@ -32,6 +33,17 @@ class OneSparseCell {
 
   /// Linear combination with another cell over the same (U, r).
   void add(const OneSparseCell& other) noexcept;
+
+  /// Linear combination with a cell in its 3-word wire form (s0, s1, s2) —
+  /// the proxy-side merge path, which adds serialized cells straight off a
+  /// message payload without materializing the sending sketch. s1/s2 are
+  /// reduced on entry, so any 64-bit wire words are accepted; for words
+  /// produced by serialize() the reduction is a no-op.
+  void add_raw(std::int64_t s0, std::uint64_t s1, std::uint64_t s2) noexcept {
+    s0_ += s0;
+    s1_ = fp::add(s1_, fp::reduce(s1));
+    s2_ = fp::add(s2_, fp::reduce(s2));
+  }
 
   /// All counters zero (necessary for the zero vector; used with the
   /// fingerprint-only is_zero test at the sampler level).
@@ -58,5 +70,12 @@ class OneSparseCell {
   std::uint64_t s1_ = 0;  // in F_p
   std::uint64_t s2_ = 0;  // in F_p
 };
+
+// The sketch plane relies on cells being exactly their 3-word wire image:
+// L0Sampler::add_serialized walks message payloads three words at a time and
+// arrays of cells add with contiguous, autovectorizable loops.
+static_assert(sizeof(OneSparseCell) == 3 * sizeof(std::uint64_t) &&
+                  std::is_trivially_copyable_v<OneSparseCell>,
+              "OneSparseCell must stay a contiguous 3-word POD");
 
 }  // namespace kmm

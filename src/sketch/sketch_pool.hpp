@@ -1,0 +1,70 @@
+#pragma once
+// Reusable L0Sampler scratch for the sketch plane's steady state.
+//
+// The Borůvka engine needs fresh sketch accumulators every elimination
+// iteration — one per active part on the home side, one per component label
+// on the proxy side — but always with the same shape (universe n^2, fixed
+// copies/levels) and only a different per-iteration seed. A SketchPool keeps
+// those samplers alive across iterations: release_all() returns every
+// sampler to the pool without freeing cell storage, and acquire() re-zeroes
+// a recycled sampler in place (L0Sampler::reset), so iteration t+1 runs on
+// iteration t's capacity and the steady state allocates nothing.
+//
+// Pool entries live behind stable pointers, so references returned by
+// acquire()/at() survive later growth within the same iteration. Each
+// machine owns its own pool (machine-indexed, like all engine state), which
+// keeps handlers race-free under the parallel runtime.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sketch/l0_sampler.hpp"
+#include "util/assert.hpp"
+
+namespace kmm {
+
+class SketchPool {
+ public:
+  /// Hand out a zeroed sampler bound to (universe, params, seed). Recycles a
+  /// released sampler when one is available (allocation-free when its shape
+  /// matches, the steady-state path); grows the pool otherwise.
+  [[nodiscard]] std::uint32_t acquire_index(std::uint64_t universe, const L0Params& params,
+                                            std::uint64_t seed) {
+    if (in_use_ == pool_.size()) {
+      pool_.push_back(std::make_unique<L0Sampler>(universe, params, seed));
+      return static_cast<std::uint32_t>(in_use_++);
+    }
+    L0Sampler& recycled = *pool_[in_use_];
+    if (recycled.universe() == universe && recycled.params().levels == params.levels &&
+        recycled.params().copies == params.copies) {
+      recycled.reset(seed);
+    } else {
+      recycled = L0Sampler(universe, params, seed);
+    }
+    return static_cast<std::uint32_t>(in_use_++);
+  }
+
+  [[nodiscard]] L0Sampler& acquire(std::uint64_t universe, const L0Params& params,
+                                   std::uint64_t seed) {
+    return at(acquire_index(universe, params, seed));
+  }
+
+  [[nodiscard]] L0Sampler& at(std::uint32_t index) noexcept {
+    KMM_DCHECK(index < in_use_);
+    return *pool_[index];
+  }
+
+  /// Return every sampler to the pool; storage (and therefore capacity) is
+  /// retained for the next round of acquires.
+  void release_all() noexcept { in_use_ = 0; }
+
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return pool_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<L0Sampler>> pool_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace kmm

@@ -22,6 +22,10 @@ class WordWriter {
   }
   WordWriter& u32(std::uint32_t v) { return u64(v); }
 
+  /// Pre-size for a known batch of u64() calls (serializers that know their
+  /// word count up front, e.g. a sketch's cells).
+  void reserve(std::size_t total_words) { words_.reserve(total_words); }
+
   /// View of the serialized words — the form senders pass to Outbox::send,
   /// which copies, so the writer may be clear()ed and reused right after.
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
@@ -46,6 +50,16 @@ class WordReader {
     return words_[pos_++];
   }
   [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
+
+  /// Consume `count` words as one contiguous view — a single bounds check
+  /// for batch readers (wire-level sketch merging reads 3 words per cell).
+  [[nodiscard]] std::span<const std::uint64_t> span(std::size_t count) {
+    KMM_CHECK_MSG(count <= words_.size() - pos_, "payload underrun");
+    const auto view = words_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
   [[nodiscard]] bool done() const noexcept { return pos_ == words_.size(); }
   [[nodiscard]] std::size_t remaining() const noexcept { return words_.size() - pos_; }
 

@@ -13,21 +13,23 @@ inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
 
 namespace fp {
 
+// The canonicalizing steps below are written with mask arithmetic instead
+// of conditionals so the sketch-plane inner loops (cell-wise add over
+// contiguous 3-word cells) stay branch-free and autovectorizable.
+
 /// Reduce any 64-bit value into [0, p).
 [[nodiscard]] constexpr std::uint64_t reduce(std::uint64_t x) noexcept {
   x = (x & kMersenne61) + (x >> 61);
-  if (x >= kMersenne61) x -= kMersenne61;
-  return x;
+  return x - (kMersenne61 & -static_cast<std::uint64_t>(x >= kMersenne61));
 }
 
 [[nodiscard]] constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) noexcept {
-  std::uint64_t s = a + b;  // a,b < 2^61 so no overflow in 64 bits
-  if (s >= kMersenne61) s -= kMersenne61;
-  return s;
+  const std::uint64_t s = a + b;  // a,b < 2^61 so no overflow in 64 bits
+  return s - (kMersenne61 & -static_cast<std::uint64_t>(s >= kMersenne61));
 }
 
 [[nodiscard]] constexpr std::uint64_t sub(std::uint64_t a, std::uint64_t b) noexcept {
-  return a >= b ? a - b : a + kMersenne61 - b;
+  return a - b + (kMersenne61 & -static_cast<std::uint64_t>(a < b));
 }
 
 [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) noexcept;

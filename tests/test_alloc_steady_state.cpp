@@ -1,0 +1,165 @@
+// Tier-1 counting-allocator proof of the allocation-free sketch plane.
+//
+// A standalone binary (not part of kmm_tests): it replaces the global
+// operator new/delete with the counting hook from bench/alloc_counter.hpp,
+// which must not leak into the GoogleTest suite, so it registers with ctest
+// as its own test with a plain main().
+//
+// What it asserts: one steady-state Borůvka elimination iteration — builder
+// rebind, part sketching into a pooled accumulator with caller scratch,
+// serialization into a reused WordWriter, proxy-side wire-level merging
+// into pooled sums behind a LabelRegistry, and the sample/is_zero state
+// transitions — performs ZERO heap allocations once the capacity-retaining
+// structures are warm. This is the compute-plane analogue of the message
+// plane's 0 allocs/superstep (PR 3); bench_boruvka_hotpath reports the same
+// quantity with throughput numbers against the checked-in baseline.
+
+#include <cstdio>
+#include <vector>
+
+#include "alloc_counter.hpp"
+#include "kmm.hpp"
+
+namespace {
+
+using namespace kmm;
+using kmmbench::alloc_count;
+
+constexpr std::size_t kN = 512;      // vertices (universe kN^2)
+constexpr std::size_t kLabels = 16;  // active components per iteration
+constexpr std::size_t kParts = 4;    // part-sketches per label
+constexpr int kWarmupIters = 3;
+constexpr int kMeasureIters = 8;
+
+int failures = 0;
+
+#define EXPECT_ZERO(expr, what)                                                      \
+  do {                                                                               \
+    const auto v = (expr);                                                           \
+    if (v != 0) {                                                                    \
+      std::printf("FAIL: %s = %llu, expected 0\n", what,                             \
+                  static_cast<unsigned long long>(v));                               \
+      ++failures;                                                                    \
+    }                                                                                \
+  } while (0)
+
+/// One elimination iteration over pre-partitioned component parts: the
+/// home-side sketch+serialize half and the proxy-side merge+transition half,
+/// exactly the containers and calls the engine's hot path uses.
+void run_iteration(GraphSketchBuilder& builder, const DistributedGraph& dg,
+                   std::uint64_t seed, const std::vector<std::vector<Vertex>>& parts,
+                   SketchPool& home_pool, SketchPool& proxy_pool, WordWriter& writer,
+                   std::vector<std::uint64_t>& power_scratch,
+                   std::vector<std::vector<std::uint64_t>>& wire,
+                   LabelRegistry<std::uint32_t>& sums, std::uint64_t* sink) {
+  builder.rebind(seed);
+
+  // Home side: sketch each part into a pooled accumulator, serialize into
+  // the reused writer, "send" by copying into the wire buffers (stand-in
+  // for the already allocation-free message plane; buffers are pre-sized).
+  for (std::size_t label = 0; label < kLabels; ++label) {
+    for (std::size_t p = 0; p < kParts; ++p) {
+      home_pool.release_all();
+      L0Sampler& sketch =
+          home_pool.acquire(builder.universe(), builder.params(), builder.seed());
+      builder.accumulate_part(dg, parts[label * kParts + p], kNoWeightLimit, sketch,
+                              power_scratch);
+      writer.clear();
+      writer.u64(label);
+      sketch.serialize(writer);
+      auto& slot = wire[label * kParts + p];
+      slot.assign(writer.words().begin(), writer.words().end());
+    }
+  }
+
+  // Proxy side: wire-level merge into pooled sums, then transitions.
+  sums.clear();
+  proxy_pool.release_all();
+  for (const auto& msg : wire) {
+    WordReader r(msg);
+    const Label label = r.u64();
+    bool created = false;
+    std::uint32_t& idx = sums.get_or_create(label, created);
+    if (created) {
+      idx = proxy_pool.acquire_index(builder.universe(), builder.params(), builder.seed());
+    }
+    proxy_pool.at(idx).add_serialized(r);
+  }
+  sums.for_each_sorted([&](Label label, std::uint32_t idx) {
+    L0Sampler& sum = proxy_pool.at(idx);
+    if (sum.is_zero()) return;
+    if (const auto rec = sum.sample()) *sink += rec->index + label;
+  });
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(5);
+  const Graph g = gen::gnm(kN, 3 * kN, rng);
+  const DistributedGraph dg(g, VertexPartition::random(kN, 4, 7));
+
+  // Disjoint vertex slices standing in for component parts.
+  std::vector<std::vector<Vertex>> parts(kLabels * kParts);
+  const std::size_t chunk = kN / parts.size();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = 0; j < chunk; ++j) {
+      parts[i].push_back(static_cast<Vertex>(i * chunk + j));
+    }
+  }
+
+  GraphSketchBuilder builder(kN, /*seed=*/1);
+  SketchPool home_pool, proxy_pool;
+  WordWriter writer;
+  std::vector<std::uint64_t> power_scratch;
+  std::vector<std::vector<std::uint64_t>> wire(kLabels * kParts);
+  LabelRegistry<std::uint32_t> sums;
+  sums.reset_universe(kLabels);
+  std::uint64_t sink = 0;
+
+  for (int it = 0; it < kWarmupIters; ++it) {
+    run_iteration(builder, dg, 100 + static_cast<std::uint64_t>(it), parts, home_pool,
+                  proxy_pool, writer, power_scratch, wire, sums, &sink);
+  }
+
+  const auto a0 = alloc_count();
+  for (int it = 0; it < kMeasureIters; ++it) {
+    run_iteration(builder, dg, 200 + static_cast<std::uint64_t>(it), parts, home_pool,
+                  proxy_pool, writer, power_scratch, wire, sums, &sink);
+  }
+  const auto steady_allocs = alloc_count() - a0;
+  EXPECT_ZERO(steady_allocs, "steady-state sketch-plane allocations");
+  std::printf("sketch plane: %d warm iterations, %llu allocations (sink=%llu)\n",
+              kMeasureIters, static_cast<unsigned long long>(steady_allocs),
+              static_cast<unsigned long long>(sink));
+
+  // Full-engine regression guard: the registry/pool representation must
+  // keep allocations-per-superstep far below the pre-registry ~290 (see
+  // bench/baselines/BENCH_boruvka_hotpath.pre-registry.json). The bound is
+  // loose — it catches representation regressions, not stdlib noise.
+  {
+    Rng grng(17);
+    const Graph eg = gen::gnm(600, 1800, grng);
+    Cluster cluster(ClusterConfig::for_graph(600, 8));
+    const DistributedGraph edg(eg, VertexPartition::random(600, 8, 19));
+    BoruvkaConfig cfg;
+    cfg.seed = 29;
+    const auto e0 = alloc_count();
+    const auto res = connected_components(cluster, edg, cfg);
+    const auto engine_allocs = alloc_count() - e0;
+    const double per_superstep =
+        static_cast<double>(engine_allocs) / static_cast<double>(res.stats.supersteps);
+    std::printf("full engine: %llu allocations / %llu supersteps = %.1f per superstep\n",
+                static_cast<unsigned long long>(engine_allocs),
+                static_cast<unsigned long long>(res.stats.supersteps), per_superstep);
+    if (per_superstep > 100.0) {
+      std::printf("FAIL: allocations per superstep %.1f > 100 — registry/pool "
+                  "representation regressed\n",
+                  per_superstep);
+      ++failures;
+    }
+  }
+
+  if (failures == 0) std::printf("PASS\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -208,6 +208,98 @@ TEST(L0, SerializeDeserializeRoundtrip) {
   EXPECT_EQ(s1->index, s2->index);
 }
 
+// Serialize both sides and compare every word — wire-bit equality, the
+// property the golden ledger relies on.
+std::vector<std::uint64_t> wire_words(const L0Sampler& s) {
+  WordWriter w;
+  s.serialize(w);
+  return std::move(w).take();
+}
+
+TEST(L0, AddSerializedMatchesDeserializeAdd) {
+  // Randomized sketches: merging the wire form directly must be bit-exact
+  // with materializing the sketch and adding it.
+  Rng rng(29);
+  const auto params = L0Params::for_universe(kUniverse);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t seed = split(71, trial);
+    L0Sampler incoming(kUniverse, params, seed);
+    const int support = 1 + static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < support; ++i) {
+      incoming.update(rng.next_below(kUniverse), (i & 3) == 0 ? -1 : 1);
+    }
+    WordWriter w;
+    w.u64(0x10be1);  // leading non-cell word, as on the engine's wire
+    incoming.serialize(w);
+    const auto words = std::move(w).take();
+
+    // Identical nonzero accumulators; only the merge path differs.
+    L0Sampler acc_a(kUniverse, params, seed);
+    L0Sampler acc_b(kUniverse, params, seed);
+    const std::uint64_t shared_index = rng.next_below(kUniverse);
+    acc_a.update(shared_index, 1);
+    acc_b.update(shared_index, 1);
+
+    WordReader ra(words);
+    (void)ra.u64();
+    acc_a.add(L0Sampler::deserialize(kUniverse, params, seed, ra));
+    EXPECT_TRUE(ra.done());
+
+    WordReader rb(words);
+    (void)rb.u64();
+    acc_b.add_serialized(rb);
+    EXPECT_TRUE(rb.done());
+
+    EXPECT_EQ(wire_words(acc_a), wire_words(acc_b));
+    const auto sa = acc_a.sample();
+    const auto sb = acc_b.sample();
+    ASSERT_EQ(sa.has_value(), sb.has_value());
+    if (sa.has_value()) EXPECT_EQ(sa->index, sb->index);
+  }
+}
+
+TEST(L0, AddSerializedCancelsLikeAdd) {
+  // Two parts of one component cancel their shared edge when merged on the
+  // wire, exactly as with add().
+  const auto params = L0Params::for_universe(kUniverse);
+  L0Sampler a(kUniverse, params, 31), b(kUniverse, params, 31);
+  a.update(1234, 1);
+  a.update(999, 1);
+  b.update(1234, -1);
+  L0Sampler acc(kUniverse, params, 31);
+  const auto words_a = wire_words(a);
+  const auto words_b = wire_words(b);
+  WordReader ra(words_a);
+  acc.add_serialized(ra);
+  WordReader rb(words_b);
+  acc.add_serialized(rb);
+  const auto rec = acc.sample();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 999u);
+}
+
+TEST(L0, ResetZeroesAndRebinds) {
+  const auto params = L0Params::for_universe(kUniverse);
+  L0Sampler s(kUniverse, params, 41);
+  s.update(777, 1);
+  EXPECT_FALSE(s.is_zero());
+  s.reset(43);
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_EQ(s.seed(), 43u);
+  // After reset the sampler behaves like a fresh seed-43 sketch.
+  L0Sampler fresh(kUniverse, params, 43);
+  s.update(555, 1);
+  fresh.update(555, 1);
+  EXPECT_EQ(wire_words(s), wire_words(fresh));
+}
+
+TEST(L0, FingerprintBaseForMatchesInstance) {
+  const L0Sampler s(kUniverse, L0Params::for_universe(kUniverse), 97);
+  for (int c = 0; c < s.params().copies; ++c) {
+    EXPECT_EQ(L0Sampler::fingerprint_base_for(97, c), s.fingerprint_base(c));
+  }
+}
+
 TEST(L0, SuccessRateHigh) {
   Rng rng(13);
   int failures = 0;
