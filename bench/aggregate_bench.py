@@ -1,10 +1,15 @@
 #!/usr/bin/env python3
 """Merge every BENCH_*.json in a directory into one trajectory file.
 
-Each bench binary writes BENCH_<name>.json ({"bench": <name>, "records":
-[...]}); this tool folds them into a single BENCH_trajectory.json keyed by
-bench name, so CI can upload one artifact per commit and the perf dashboard
-can diff trajectories across commits without scraping per-bench files.
+Each bench binary writes BENCH_<name>.json ({"bench": <name>,
+"hardware_concurrency": <cores>, "records": [...]}); this tool folds them
+into a single BENCH_trajectory.json keyed by bench name, so CI can upload
+one artifact per commit and the perf dashboard can diff trajectories across
+commits without scraping per-bench files. Each trajectory entry is
+{"hardware_concurrency": ..., "records": [...]} — the core count (and the
+per-record handler_ms / deliver_ms / reduce_ms phase columns, carried
+verbatim inside records) is what lets the dashboard tell a 1-core runner's
+expected ~1x speedups apart from real regressions.
 
 Usage:
     python3 bench/aggregate_bench.py [--dir BUILD_DIR] [--out OUT.json]
@@ -47,15 +52,18 @@ def main() -> int:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
         if "benchmarks" in data and "records" not in data:
-            # google-benchmark output: keep each benchmark row as a record.
+            # google-benchmark output: keep each benchmark row as a record;
+            # the core count lives in its context block.
             stem = os.path.basename(path)
             stem = stem.removeprefix("BENCH_").removesuffix(".json")
             name = data.get("bench", stem)
             records = data["benchmarks"]
+            cores = data.get("context", {}).get("num_cpus")
         else:
             name = data.get("bench", os.path.basename(path))
             records = data.get("records", [])
-        benches[name] = records
+            cores = data.get("hardware_concurrency")
+        benches[name] = {"hardware_concurrency": cores, "records": records}
         total_records += len(records)
         print(f"  {os.path.basename(path)}: {len(records)} records")
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc_counter.hpp"
@@ -27,6 +28,23 @@ inline void banner(const char* experiment, const char* claim) {
   std::printf("==================================================================\n");
 }
 
+/// Wall time of the three superstep phases during a run (deltas of the
+/// runtime_phase_totals() process counters): handler = parallel local
+/// computation, deliver = moving messages into inboxes, reduce = folding
+/// the per-destination ledger partials. The columns that show where a
+/// thread-scaling section's wall-clock actually goes.
+struct PhaseMs {
+  double handler_ms = 0.0;
+  double deliver_ms = 0.0;
+  double reduce_ms = 0.0;
+
+  static PhaseMs between(const RuntimePhaseTotals& before, const RuntimePhaseTotals& after) {
+    return PhaseMs{static_cast<double>(after.handler_ns - before.handler_ns) * 1e-6,
+                   static_cast<double>(after.deliver_ns - before.deliver_ns) * 1e-6,
+                   static_cast<double>(after.reduce_ns - before.reduce_ns) * 1e-6};
+  }
+};
+
 /// A run plus its wall-clock time (the simulator's real execution time —
 /// what the runtime's --threads knob improves; the simulated round count is
 /// thread-invariant by construction).
@@ -34,6 +52,7 @@ struct TimedResult {
   BoruvkaResult result;
   double wall_ms = 0.0;
   std::uint64_t allocs = 0;  // operator-new calls during the run
+  PhaseMs phase;
 };
 
 /// Algorithm-agnostic flavor of TimedResult for the non-Borůvka entry
@@ -45,6 +64,7 @@ struct TimedStats {
   std::size_t phases = 0;
   double wall_ms = 0.0;
   std::uint64_t allocs = 0;  // operator-new calls during the run
+  PhaseMs phase;
 };
 
 /// Allocations per superstep for a timed run (0 when the run had no
@@ -62,12 +82,13 @@ double allocs_per_superstep(const Timed& timed, std::uint64_t supersteps) {
 template <typename Fn, typename PhasesOf>
 TimedStats time_stats(const Fn& fn, const PhasesOf& phases_of) {
   const auto a0 = alloc_count();
+  const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = fn();
   const auto t1 = std::chrono::steady_clock::now();
   return TimedStats{result.stats, phases_of(result),
                     std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                    alloc_count() - a0};
+                    alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 /// Same, for algorithms with no phase notion (phases = 0).
@@ -100,23 +121,25 @@ inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed,
 inline TimedResult run_connectivity_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                           unsigned threads = 1) {
   const auto a0 = alloc_count();
+  const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_connectivity(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
                      std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                     alloc_count() - a0};
+                     alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 inline TimedResult run_mst_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                  unsigned threads = 1) {
   const auto a0 = alloc_count();
+  const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_mst(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
                      std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                     alloc_count() - a0};
+                     alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 /// Machine-readable perf trajectory: every record() appends a JSON object;
@@ -132,11 +155,15 @@ class BenchJson {
 
   /// Schema shared by every bench: one flat object per run. Non-Borůvka
   /// algorithms record through the RunStats overload (phases = 0 when the
-  /// algorithm has no phase notion).
+  /// algorithm has no phase notion). Thread-scaling sections pass the
+  /// per-phase wall split (handler/deliver/reduce, from PhaseMs) so the
+  /// trajectory separates "faster because parallel handlers" from "faster
+  /// because parallel delivery"; pass phase_ms = nullptr to omit.
   void record(const char* family, std::size_t n, std::size_t m, MachineId k,
               unsigned threads, const RunStats& stats, std::size_t phases,
-              double wall_ms, double allocs_per_superstep = -1.0) {
-    char buf[512];
+              double wall_ms, double allocs_per_superstep = -1.0,
+              const PhaseMs* phase_ms = nullptr) {
+    char buf[640];
     int len = std::snprintf(buf, sizeof(buf),
                             "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
                             "\"threads\": %u, \"rounds\": %llu, \"messages\": %llu, "
@@ -154,6 +181,13 @@ class BenchJson {
     if (allocs_per_superstep >= 0.0) {
       len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
                            ", \"allocs_per_superstep\": %.1f", allocs_per_superstep);
+      len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
+    }
+    if (phase_ms != nullptr) {
+      len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+                           ", \"handler_ms\": %.3f, \"deliver_ms\": %.3f, "
+                           "\"reduce_ms\": %.3f",
+                           phase_ms->handler_ms, phase_ms->deliver_ms, phase_ms->reduce_ms);
       len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
     }
     std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "}");
@@ -174,7 +208,10 @@ class BenchJson {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", name_.c_str());
+    // hardware_concurrency contextualizes every thread-scaling section: a
+    // 1-core CI runner's ~1x speedups are expected, not regressions.
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"hardware_concurrency\": %u,\n  \"records\": [\n",
+                 name_.c_str(), std::thread::hardware_concurrency());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "%s%s\n", records_[i].c_str(),
                    i + 1 < records_.size() ? "," : "");
@@ -204,8 +241,8 @@ inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'0
 inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::size_t m,
                                      MachineId k, BenchJson& json,
                                      const std::function<TimedStats(unsigned)>& runner) {
-  std::printf("%8s %10s %9s %9s %14s\n", "threads", "rounds", "wall_ms", "speedup",
-              "allocs/sstep");
+  std::printf("%8s %10s %9s %9s %14s %11s %11s %10s\n", "threads", "rounds", "wall_ms",
+              "speedup", "allocs/sstep", "handler_ms", "deliver_ms", "reduce_ms");
   double base_ms = 0.0;
   std::uint64_t base_rounds = 0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -215,14 +252,16 @@ inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::siz
       base_rounds = timed.stats.rounds;
     }
     const double aps = allocs_per_superstep(timed, timed.stats.supersteps);
-    std::printf("%8u %10llu %9.1f %8.2fx %14.1f\n", threads,
+    std::printf("%8u %10llu %9.1f %8.2fx %14.1f %11.1f %11.1f %10.1f\n", threads,
                 static_cast<unsigned long long>(timed.stats.rounds), timed.wall_ms,
-                base_ms / timed.wall_ms, aps);
+                base_ms / timed.wall_ms, aps, timed.phase.handler_ms, timed.phase.deliver_ms,
+                timed.phase.reduce_ms);
     if (timed.stats.rounds != base_rounds) {
       std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
       return false;
     }
-    json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms, aps);
+    json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms, aps,
+                &timed.phase);
   }
   return true;
 }
@@ -234,7 +273,7 @@ inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m,
       family, n, m, k, json, [&](unsigned threads) {
         const auto timed = runner(threads);
         return TimedStats{timed.result.stats, timed.result.phases.size(), timed.wall_ms,
-                          timed.allocs};
+                          timed.allocs, timed.phase};
       });
 }
 

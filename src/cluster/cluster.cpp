@@ -24,6 +24,10 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   stats_.received_bits_by_machine.assign(config_.k, 0);
   link_bits_.assign(static_cast<std::size_t>(config_.k) * config_.k, 0);
   inbox_counts_.assign(config_.k, 0);
+  inbox_arenas_.resize(config_.k);
+  delivery_link_bits_.assign(static_cast<std::size_t>(config_.k) * config_.k, 0);
+  delivery_messages_.assign(config_.k, 0);
+  delivery_local_.assign(config_.k, 0);
 }
 
 void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
@@ -33,7 +37,13 @@ void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
 }
 
 void Cluster::enqueue_batch(std::vector<Message>&& batch) {
-  outbox_.reserve(outbox_.size() + batch.size());
+  // Geometric growth rather than an exact reserve: the runtime's fallback
+  // path merges up to k*k buckets per superstep, and an exact reserve per
+  // batch would reallocate-and-copy the accumulated outbox on each one.
+  const std::size_t needed = outbox_.size() + batch.size();
+  if (outbox_.capacity() < needed) {
+    outbox_.reserve(std::max(needed, 2 * outbox_.capacity()));
+  }
   for (auto& msg : batch) {
     // The Outbox already validated src/dst at send time; re-checking every
     // message here would put a full extra pass on the merge hot path, so
@@ -54,11 +64,110 @@ std::uint64_t Cluster::superstep() {
   for (auto& inbox : inboxes_) inbox.clear();  // capacity retained
   // Last superstep's payload generation is dead now that the inboxes are
   // cleared; recycle it and promote the pending generation (chunk memory is
-  // stable, so spilled-payload pointers survive the swap).
+  // stable, so spilled-payload pointers survive the swap). Inbox arenas may
+  // hold the previous (direct) delivery's spilled payloads — equally dead.
   live_arena_.reset();
   std::swap(live_arena_, pending_arena_);
+  for (auto& arena : inbox_arenas_) arena.reset();
   if (outbox_.empty()) return 0;
   return deliver_pending();
+}
+
+void Cluster::deliver_shards_begin(std::span<OutboxShard> shards) {
+  KMM_CHECK_MSG(outbox_.empty(),
+                "direct delivery requires no staged sequential sends (see has_staged)");
+  KMM_CHECK(shards.size() == config_.k);
+  // Same generation handover as superstep(): the last superstep's pending
+  // payloads are dead once every inbox has been cleared by its delivery
+  // task below (nothing was staged, so pending_arena_ is empty and the swap
+  // only recycles the live generation).
+  live_arena_.reset();
+  std::swap(live_arena_, pending_arena_);
+  delivery_shards_ = shards;
+}
+
+void Cluster::deliver_shard_to(MachineId dst) {
+  const MachineId k = config_.k;
+  KMM_DCHECK(dst < k && delivery_shards_.size() == k);
+  auto& inbox = inboxes_[dst];
+  inbox.clear();               // capacity retained
+  inbox_arenas_[dst].reset();  // previous generation's spilled payloads are dead
+  std::size_t count = 0;
+  for (const auto& shard : delivery_shards_) count += shard.buckets[dst].size();
+  delivery_messages_[dst] = 0;
+  delivery_local_[dst] = 0;
+  if (count == 0) return;
+  inbox.reserve(count);  // exact: a warm inbox never reallocates mid-delivery
+  std::uint64_t cross = 0;
+  std::uint64_t local = 0;
+  // Row dst of the dst-major partial table: cache lines private to this
+  // task, written for every cross-machine message — the hot cells of the
+  // parallel phase.
+  std::uint64_t* links = delivery_link_bits_.data() + static_cast<std::size_t>(dst) * k;
+  for (MachineId src = 0; src < k; ++src) {
+    auto& bucket = delivery_shards_[src].buckets[dst];
+    for (auto& msg : bucket) {
+      KMM_DCHECK(msg.src == src && msg.dst == dst);
+      // Re-home spilled payloads into this inbox's arena: payload lifetime
+      // becomes inbox lifetime, and the shard arena is free for reuse as
+      // soon as the step's delivery ends.
+      msg.reintern(inbox_arenas_[dst]);
+      if (src == dst) {
+        ++local;
+      } else {
+        ++cross;
+        links[src] += msg.wire_bits();
+      }
+      inbox.push_back(msg);
+    }
+    bucket.clear();
+  }
+  delivery_messages_[dst] = cross;
+  delivery_local_[dst] = local;
+}
+
+std::uint64_t Cluster::deliver_shards_finish() {
+  const MachineId k = config_.k;
+  delivery_shards_ = {};
+  std::uint64_t cross = 0;
+  std::uint64_t local = 0;
+  for (MachineId d = 0; d < k; ++d) {
+    cross += delivery_messages_[d];
+    local += delivery_local_[d];
+  }
+  if (cross + local == 0) return 0;  // nothing moved: a free superstep
+  // Deterministic ledger reduction in ascending (src, dst) link order. The
+  // link table carries every bit-valued partial, so the per-machine and
+  // cut aggregates fall out of one ordered scan; all quantities are
+  // unsigned sums or maxima of the same per-link values the sequential
+  // pass accumulates message-by-message, hence bit-identical. The scan is
+  // O(k^2) where deliver_pending walks a touched-link list — fine for the
+  // k <= 64 this repo simulates (the measured reduce phase is noise); if
+  // large-k configs appear, give each delivery task a touched-source list
+  // (every quantity is commutative, so fold order is free to change).
+  std::uint64_t max_load = 0;
+  for (MachineId src = 0; src < k; ++src) {
+    for (MachineId dst = 0; dst < k; ++dst) {
+      const std::uint64_t link = static_cast<std::uint64_t>(dst) * k + src;  // dst-major
+      const std::uint64_t bits = delivery_link_bits_[link];
+      if (bits == 0) continue;
+      delivery_link_bits_[link] = 0;  // restore the all-zero invariant
+      if (!cut_side_.empty() && cut_side_[src] != cut_side_[dst]) stats_.cut_bits += bits;
+      stats_.total_bits += bits;
+      stats_.sent_bits_by_machine[src] += bits;
+      stats_.received_bits_by_machine[dst] += bits;
+      max_load = std::max(max_load, bits);
+    }
+  }
+  stats_.messages += cross;
+  stats_.local_messages += local;
+  const std::uint64_t rounds =
+      max_load == 0 ? 0 : (max_load + config_.bandwidth_bits - 1) / config_.bandwidth_bits;
+  stats_.rounds += rounds;
+  ++stats_.supersteps;
+  stats_.max_link_bits = std::max(stats_.max_link_bits, max_load);
+  if (max_load > 0) stats_.superstep_link_max.add(static_cast<double>(max_load));
+  return rounds;
 }
 
 std::uint64_t Cluster::deliver_pending() {

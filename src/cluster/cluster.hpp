@@ -21,11 +21,16 @@
 // per-link maxima, per-machine traffic) — the measurements every benchmark
 // in EXPERIMENTS.md is built on.
 //
-// Execution paths: algorithms either send() directly (sequential) or run on
-// the src/runtime/ parallel engine, which buffers sends in per-source shards
-// and merges them here via enqueue_batch() in machine order. Both paths
-// funnel into the same deliver_pending() accounting, so the ledger is by
-// construction identical however the local computation was scheduled.
+// Execution paths: algorithms either send() directly (sequential; staged
+// sends are delivered and accounted by deliver_pending() in one ordered
+// pass) or run on the src/runtime/ parallel engine, whose per-source shards
+// are delivered through the direct per-destination plane
+// (deliver_shards_begin / deliver_shard_to / deliver_shards_finish): k
+// concurrent tasks move each destination's buckets straight into its inbox
+// and the ledger partials are reduced in ascending link order afterwards.
+// The two paths share the same accounting rules over the same per-link
+// quantities, so the ledger is by construction bit-identical however the
+// local computation was scheduled — tests/test_golden_stats.cpp pins it.
 
 #include <cstdint>
 #include <initializer_list>
@@ -47,6 +52,27 @@ struct ClusterConfig {
   /// B = ceil(log2 n)^2 bits per link per round — the canonical concrete
   /// choice of the model's "O(polylog n) bits per link per round".
   static ClusterConfig for_graph(std::size_t n, MachineId k);
+};
+
+/// One machine's private send buffer in sharded (parallel runtime) mode:
+/// per-destination message buckets plus the arena backing spilled payloads.
+/// Bucketing by destination at send time is what lets the delivery plane
+/// run as k independent per-destination tasks that move messages without
+/// scanning: destination d's task walks buckets[d] of every shard in
+/// ascending source order, which reproduces the sequential global send
+/// order as seen by inbox d exactly. clear() retains the capacity of every
+/// bucket and the arena, so a warm shard absorbs a whole superstep without
+/// allocating.
+struct OutboxShard {
+  std::vector<std::vector<Message>> buckets;  // [dst] -> messages in send order
+  PayloadArena arena;
+
+  void resize(MachineId k) { buckets.resize(k); }
+
+  void clear() noexcept {
+    for (auto& bucket : buckets) bucket.clear();
+    arena.reset();
+  }
 };
 
 struct ClusterStats {
@@ -93,6 +119,33 @@ class Cluster {
   /// deterministic send order) until the next superstep.
   std::uint64_t superstep();
 
+  /// True when send() / enqueue_batch() messages are staged for the next
+  /// superstep(). The direct delivery plane below requires an empty staging
+  /// outbox; the Runtime falls back to the merge path when this holds.
+  [[nodiscard]] bool has_staged() const noexcept { return !outbox_.empty(); }
+
+  /// Direct shard->inbox delivery plane (the parallel path). Protocol:
+  ///   deliver_shards_begin(shards)   caller thread, after the handler
+  ///                                  barrier; shards[s] holds machine s's
+  ///                                  sends bucketed by destination;
+  ///   deliver_shard_to(d)            once per destination — safe to run
+  ///                                  the k calls concurrently (each task
+  ///                                  touches only destination-d state and
+  ///                                  the k*k link table's column d);
+  ///   deliver_shards_finish()        caller thread, after all per-
+  ///                                  destination tasks completed; reduces
+  ///                                  the ledger partials in ascending
+  ///                                  (src, dst) link order and returns the
+  ///                                  rounds charged.
+  /// Observationally identical — inbox contents, inbox order, and the full
+  /// ClusterStats ledger bit-for-bit — to enqueue_batch() per shard in
+  /// ascending source order followed by superstep(): every reduced quantity
+  /// is an unsigned sum or maximum of exactly the per-link values the
+  /// sequential pass accumulates message-by-message.
+  void deliver_shards_begin(std::span<OutboxShard> shards);
+  void deliver_shard_to(MachineId dst);
+  std::uint64_t deliver_shards_finish();
+
   [[nodiscard]] std::span<const Message> inbox(MachineId m) const;
 
   /// Charge rounds for a protocol whose cost is accounted analytically
@@ -113,9 +166,10 @@ class Cluster {
   }
 
  private:
-  /// The single delivery/accounting path: routes every pending message to
-  /// its inbox and updates the full ledger. Both the sequential send() path
-  /// and the runtime's enqueue_batch() path terminate here.
+  /// The sequential delivery/accounting pass: routes every staged message
+  /// to its inbox and updates the full ledger in one ordered scan. The
+  /// send() path and the runtime's enqueue_batch() fallback terminate here;
+  /// the direct plane above implements the same rules destination-parallel.
   std::uint64_t deliver_pending();
 
   ClusterConfig config_;
@@ -138,6 +192,23 @@ class Cluster {
   std::vector<std::uint64_t> link_bits_;
   std::vector<std::uint64_t> touched_links_;
   std::vector<std::uint32_t> inbox_counts_;  // per-destination count scratch
+
+  // Direct delivery plane state. Each inbox owns an arena for the spilled
+  // payloads delivered to it: destination d's task re-homes shard-arena
+  // payloads into inbox_arenas_[d], so payload lifetime equals inbox
+  // lifetime and the shards are reusable the moment delivery ends. The
+  // link partials live in a dst-MAJOR k*k table (row d = cells d*k + src)
+  // rather than sharing the src-major link_bits_: concurrent delivery
+  // tasks then write disjoint contiguous rows instead of interleaved
+  // columns, so no two tasks ever touch the same cache line (the finish
+  // reduction still folds in ascending (src, dst) order — it just strides
+  // the transposed table). The per-destination message counts are the only
+  // partials the link table doesn't carry.
+  std::span<OutboxShard> delivery_shards_;         // valid between begin/finish
+  std::vector<PayloadArena> inbox_arenas_;         // one per destination
+  std::vector<std::uint64_t> delivery_link_bits_;  // dst-major k*k partials
+  std::vector<std::uint64_t> delivery_messages_;   // per-destination cross count
+  std::vector<std::uint64_t> delivery_local_;      // per-destination local count
 };
 
 }  // namespace kmm

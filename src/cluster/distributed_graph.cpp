@@ -3,27 +3,77 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kmm {
 
-DistributedGraph::DistributedGraph(const Graph& graph, VertexPartition partition)
+namespace {
+// Below this the chunked build's histogram pass costs more than it saves.
+constexpr std::size_t kParallelVertexCutoff = 1 << 15;
+}  // namespace
+
+DistributedGraph::DistributedGraph(const Graph& graph, VertexPartition partition,
+                                   ThreadPool* pool)
     : graph_(&graph), partition_(std::move(partition)) {
   KMM_CHECK_MSG(partition_.num_vertices() == graph.num_vertices(),
                 "partition size must match the graph");
-  hosted_.resize(partition_.machines());
-  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
-    hosted_[partition_.home(v)].push_back(v);
+  const std::size_t n = graph.num_vertices();
+  const MachineId k = partition_.machines();
+  hosted_offsets_.assign(static_cast<std::size_t>(k) + 1, 0);
+  hosted_.resize(n);
+
+  if (pool == nullptr || pool->size() <= 1 || n < kParallelVertexCutoff) {
+    std::vector<std::size_t> loads;
+    partition_.loads(loads);
+    for (MachineId i = 0; i < k; ++i) hosted_offsets_[i + 1] = hosted_offsets_[i] + loads[i];
+    std::vector<std::size_t> cursor(hosted_offsets_.begin(), hosted_offsets_.end() - 1);
+    for (Vertex v = 0; v < n; ++v) hosted_[cursor[partition_.home(v)]++] = v;
+    return;
   }
+
+  // Two-pass chunked build: per-chunk machine histograms, an exclusive
+  // prefix over (machine, chunk) that turns each histogram row into that
+  // chunk's write cursors, then a race-free scatter. Chunks cover ascending
+  // vertex ranges and scan them in ascending order, so machine i's slice is
+  // ascending — identical to the serial fill — for every thread count.
+  const std::size_t chunks = parallel_chunks(n, pool->size());
+  const auto vchunk = [&](std::size_t c) {
+    return std::pair{n * c / chunks, n * (c + 1) / chunks};
+  };
+  std::vector<std::size_t> hist(chunks * k, 0);
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const auto [lo, hi] = vchunk(c);
+    std::size_t* row = hist.data() + c * k;
+    for (std::size_t v = lo; v < hi; ++v) ++row[partition_.home(static_cast<Vertex>(v))];
+  });
+  for (MachineId i = 0; i < k; ++i) {
+    std::size_t running = hosted_offsets_[i];
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t count = hist[c * k + i];
+      hist[c * k + i] = running;
+      running += count;
+    }
+    hosted_offsets_[i + 1] = running;
+  }
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const auto [lo, hi] = vchunk(c);
+    std::size_t* cursor = hist.data() + c * k;
+    for (std::size_t v = lo; v < hi; ++v) {
+      hosted_[cursor[partition_.home(static_cast<Vertex>(v))]++] = static_cast<Vertex>(v);
+    }
+  });
 }
 
 std::span<const Vertex> DistributedGraph::vertices_of(MachineId i) const {
-  KMM_CHECK(i < hosted_.size());
-  return hosted_[i];
+  KMM_CHECK(i + 1 < hosted_offsets_.size());
+  return {hosted_.data() + hosted_offsets_[i], hosted_.data() + hosted_offsets_[i + 1]};
 }
 
 std::size_t DistributedGraph::max_machine_load() const {
   std::size_t best = 0;
-  for (const auto& h : hosted_) best = std::max(best, h.size());
+  for (std::size_t i = 0; i + 1 < hosted_offsets_.size(); ++i) {
+    best = std::max(best, hosted_offsets_[i + 1] - hosted_offsets_[i]);
+  }
   return best;
 }
 

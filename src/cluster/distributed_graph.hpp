@@ -19,7 +19,13 @@ namespace kmm {
 
 class DistributedGraph {
  public:
-  DistributedGraph(const Graph& graph, VertexPartition partition);
+  /// Builds the per-machine hosted-vertex lists (CSR-flattened: one offset
+  /// table plus one flat vertex array, so construction allocates exactly
+  /// twice however large k is). With a pool, the home() evaluation and the
+  /// scatter run chunked in parallel — two-pass, per-chunk histograms, no
+  /// atomics — producing the identical flat array for every thread count.
+  explicit DistributedGraph(const Graph& graph, VertexPartition partition,
+                            ThreadPool* pool = nullptr);
 
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const VertexPartition& partition() const noexcept { return partition_; }
@@ -42,7 +48,10 @@ class DistributedGraph {
  private:
   const Graph* graph_;  // non-owning; outlives this view
   VertexPartition partition_;
-  std::vector<std::vector<Vertex>> hosted_;
+  // CSR layout: machine i hosts hosted_[hosted_offsets_[i] ..
+  // hosted_offsets_[i+1]), ascending vertex ids.
+  std::vector<std::size_t> hosted_offsets_;  // machines()+1 entries
+  std::vector<Vertex> hosted_;               // flat, grouped by machine
 };
 
 }  // namespace kmm

@@ -23,6 +23,11 @@ Graph GraphBuilder::build() {
   return Graph(n_, std::exchange(edges_, {}));
 }
 
+Graph GraphBuilder::build(ThreadPool* pool) {
+  seen_.clear();
+  return Graph(n_, std::exchange(edges_, {}), pool);
+}
+
 Graph with_unique_weights(const Graph& g) {
   auto edges = g.edges();
   const auto m = static_cast<Weight>(edges.size());

@@ -24,6 +24,10 @@ class GraphBuilder {
   /// Finalizes into a CSR graph; the builder is left empty.
   [[nodiscard]] Graph build();
 
+  /// Same, routing the CSR construction through the parallel Graph ctor
+  /// (identical result; see graph.hpp). Null pool = serial.
+  [[nodiscard]] Graph build(ThreadPool* pool);
+
  private:
   std::size_t n_;
   std::vector<WeightedEdge> edges_;

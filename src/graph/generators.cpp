@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <unordered_set>
 
 #include "graph/builder.hpp"
 #include "util/codec.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kmm::gen {
 
@@ -329,6 +334,188 @@ Graph rmat(std::size_t n, std::size_t m, Rng& rng, double a, double b, double c)
     builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }
   return builder.build();
+}
+
+// ------------------------------------------------- chunked parallel pipeline
+
+namespace {
+
+// Stream-tag constants: each generator kind derives its per-chunk PRNG
+// streams and per-edge weights from a distinct branch of the seed.
+constexpr std::uint64_t kGnmStreamTag = 0x676e6d;      // "gnm"
+constexpr std::uint64_t kRmatStreamTag = 0x726d6174;   // "rmat"
+constexpr std::uint64_t kWeightStreamTag = 0x776569;   // "wei"
+
+unsigned resolve_gen_threads(unsigned requested) {
+  return requested != 0 ? requested : std::max(1u, std::thread::hardware_concurrency());
+}
+
+// NOT parallel_chunks(): here the chunk count sizes the PRNG streams, so it
+// is part of the generated graph's identity and must stay a pure function
+// of (m, edges_per_chunk) — never of worker count or scheduling policy.
+std::size_t gen_chunks(std::size_t m, std::size_t edges_per_chunk) {
+  const std::size_t per = std::max<std::size_t>(edges_per_chunk, 1);
+  return std::clamp<std::size_t>((m + per - 1) / per, 1, 4096);
+}
+
+Weight edge_weight(const ParGenConfig& cfg, std::uint64_t edge_id) {
+  if (cfg.weight_limit == 0) return 1;
+  return 1 + split3(cfg.seed, kWeightStreamTag, edge_id) % cfg.weight_limit;
+}
+
+/// First linear pair index of row u in the (u < v) row-major enumeration:
+/// rows 0..u-1 hold (n-1) + (n-2) + ... + (n-u) entries.
+std::uint64_t pair_row_start(std::uint64_t u, std::uint64_t n) {
+  return static_cast<std::uint64_t>(static_cast<__uint128_t>(u) * (2 * n - u - 1) / 2);
+}
+
+/// Inverse of the row-major pair enumeration: a float estimate of the row
+/// followed by exact integer correction, so the decode is platform- and
+/// thread-deterministic (the float only picks the starting point).
+std::pair<Vertex, Vertex> decode_pair_index(std::uint64_t idx, std::uint64_t n) {
+  const double nd = static_cast<double>(n) - 0.5;
+  const double disc = std::max(nd * nd - 2.0 * static_cast<double>(idx), 0.0);
+  auto u = static_cast<std::uint64_t>(
+      std::clamp(nd - std::sqrt(disc), 0.0, static_cast<double>(n - 2)));
+  while (u > 0 && pair_row_start(u, n) > idx) --u;
+  while (pair_row_start(u + 1, n) <= idx) ++u;
+  const std::uint64_t v = u + 1 + (idx - pair_row_start(u, n));
+  return {static_cast<Vertex>(u), static_cast<Vertex>(v)};
+}
+
+}  // namespace
+
+Graph gnm_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, ThreadPool* pool) {
+  KMM_CHECK_MSG(n == 0 || n - 1 <= std::numeric_limits<Vertex>::max(),
+                "gnm_par: vertex ids must fit Vertex (32 bits)");
+  const __uint128_t total128 =
+      n < 2 ? 0 : static_cast<__uint128_t>(n) * (n - 1) / 2;
+  KMM_CHECK_MSG(total128 <= static_cast<__uint128_t>(~std::uint64_t{0}),
+                "gnm_par: pair index space exceeds 64 bits");
+  const auto total = static_cast<std::uint64_t>(total128);
+  KMM_CHECK_MSG(m <= total, "G(n,m): too many edges requested");
+  const std::size_t chunks = gen_chunks(m, cfg.edges_per_chunk);
+
+  // Plan the strata: chunk c owns pair indices [range_lo[c], range_lo[c+1])
+  // and samples quota[c] of them. Quotas split m proportionally with a
+  // forward carry for the (near-complete-density) case where a stratum is
+  // smaller than its proportional share; the plan is a pure function of
+  // (n, m, chunks), so it never depends on the thread count.
+  std::vector<std::uint64_t> range_lo(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    range_lo[c] = static_cast<std::uint64_t>(static_cast<__uint128_t>(total) * c / chunks);
+  }
+  std::vector<std::uint64_t> quota(chunks, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint64_t share =
+        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * (c + 1) / chunks) -
+        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * c / chunks);
+    const std::uint64_t want = share + carry;
+    quota[c] = std::min(want, range_lo[c + 1] - range_lo[c]);
+    carry = want - quota[c];
+  }
+  KMM_CHECK_MSG(carry == 0, "gnm_par: density too close to complete — use gen::gnm");
+
+  std::vector<std::size_t> out_off(chunks + 1, 0);
+  for (std::size_t c = 0; c < chunks; ++c) out_off[c + 1] = out_off[c] + quota[c];
+  std::vector<WeightedEdge> edges(m);
+
+  std::optional<ThreadPool> owned;
+  if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    Rng rng(split3(cfg.seed, kGnmStreamTag, c));
+    const std::uint64_t lo = range_lo[c];
+    const std::uint64_t range = range_lo[c + 1] - lo;
+    const std::uint64_t need = quota[c];
+    if (need == 0) return;
+    std::vector<std::uint64_t> picks;
+    picks.reserve(need);
+    if (range - need <= need) {
+      // Dense stratum: selection sampling (Knuth algorithm S) — exactly
+      // `need` picks, emitted in ascending order.
+      std::uint64_t remaining = range;
+      std::uint64_t want = need;
+      for (std::uint64_t i = 0; i < range && want > 0; ++i, --remaining) {
+        if (rng.next_below(remaining) < want) {
+          picks.push_back(lo + i);
+          --want;
+        }
+      }
+    } else {
+      // Sparse stratum: rejection to `need` distinct indices, then sort to
+      // the canonical ascending order.
+      std::unordered_set<std::uint64_t> seen;
+      seen.reserve(2 * need);
+      while (picks.size() < need) {
+        const std::uint64_t idx = lo + rng.next_below(range);
+        if (seen.insert(idx).second) picks.push_back(idx);
+      }
+      std::sort(picks.begin(), picks.end());
+    }
+    WeightedEdge* out = edges.data() + out_off[c];
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      const auto [u, v] = decode_pair_index(picks[i], n);
+      out[i] = WeightedEdge{u, v, edge_weight(cfg, picks[i])};
+    }
+  });
+  // Strata are disjoint and ascending, so the assembled list is already in
+  // canonical (u, v) order — the parallel CSR ctor skips its sort pass.
+  return Graph(n, std::move(edges), pool);
+}
+
+Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, double a, double b,
+               double c, ThreadPool* pool) {
+  KMM_CHECK(n >= 2);
+  KMM_CHECK_MSG(n - 1 <= std::numeric_limits<Vertex>::max(),
+                "rmat_par: vertex ids must fit Vertex (32 bits)");
+  KMM_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+                "rmat: quadrant probabilities must be positive and sum below 1");
+  const std::uint64_t levels = bits_for(n);
+  const std::size_t chunks = gen_chunks(m, cfg.edges_per_chunk);
+  std::vector<std::vector<WeightedEdge>> candidates(chunks);
+
+  std::optional<ThreadPool> owned;
+  if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
+  pool->parallel_for(chunks, [&](std::size_t ci) {
+    const std::size_t quota = m * (ci + 1) / chunks - m * ci / chunks;
+    Rng rng(split3(cfg.seed, kRmatStreamTag, ci));
+    auto& out = candidates[ci];
+    out.reserve(quota);
+    // Same descent and same attempt cap per requested edge as gen::rmat.
+    const std::size_t max_attempts = 16 * quota + 64;
+    for (std::size_t attempt = 0; attempt < max_attempts && out.size() < quota; ++attempt) {
+      std::uint64_t u = 0, v = 0;
+      for (std::uint64_t level = 0; level < levels; ++level) {
+        const double r = rng.next_double();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left: both bits 0
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u == v || u >= n || v >= n) continue;
+      // Weights key off the global edge id, so cross-chunk duplicates carry
+      // the same weight and the dedup winner below is irrelevant.
+      out.push_back(WeightedEdge{static_cast<Vertex>(u), static_cast<Vertex>(v),
+                                 edge_weight(cfg, edge_index(static_cast<Vertex>(u),
+                                                             static_cast<Vertex>(v), n))});
+    }
+  });
+  // Deterministic assembly: dedup in fixed chunk order (first occurrence
+  // wins), independent of which threads ran which chunks.
+  GraphBuilder builder(n);
+  for (const auto& chunk : candidates) {
+    for (const auto& e : chunk) builder.add_edge(e.u, e.v, e.w);
+  }
+  return builder.build(pool);
 }
 
 }  // namespace kmm::gen

@@ -84,4 +84,49 @@ namespace kmm::gen {
 [[nodiscard]] Graph rmat(std::size_t n, std::size_t m, Rng& rng, double a = 0.57,
                          double b = 0.19, double c = 0.19);
 
+// ---------------------------------------------------------------------------
+// Chunked parallel generators (the large-graph input pipeline, KaGen-style).
+//
+// The edge stream is split into fixed chunks, and chunk c draws exclusively
+// from its own counter-derived PRNG stream Rng(split3(seed, kind, c)) —
+// so the generated graph is a pure function of (parameters, seed,
+// edges_per_chunk) and NEVER of the thread count: chunks are assembled in
+// fixed chunk order whatever schedule executed them. gnm_par additionally
+// stratifies the linear edge-index space [0, C(n,2)) so chunks own disjoint
+// ranges: exactly m distinct edges with no cross-chunk coordination (a
+// stratified G(n,m): uniform within each stratum, per-stratum counts split
+// proportionally rather than hypergeometrically — indistinguishable for the
+// sparse benchmark regime and deterministic by construction). rmat_par
+// parallelizes the quadrant descents (the expensive half) and dedups
+// candidates in chunk order, so it keeps the serial generator's contract:
+// at most m edges.
+
+struct ParGenConfig {
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency. Does NOT affect the result.
+  unsigned threads = 1;
+  /// Stream granularity. Part of the generated graph's identity (changing
+  /// it changes which stream an edge is drawn from) — leave at the default
+  /// for reproducible benchmarks.
+  std::size_t edges_per_chunk = 1 << 16;
+  /// 0 = unweighted (w = 1); else w = 1 + prf(seed, edge_index) % limit —
+  /// weights are attached per edge id, so they are chunk- and
+  /// thread-invariant too.
+  Weight weight_limit = 0;
+};
+
+/// Stratified-uniform G(n, m): exactly m distinct edges, deterministic in
+/// (n, m, cfg.seed, cfg.edges_per_chunk) for every thread count. Pass a
+/// pool to reuse the caller's workers (cfg.threads is then ignored);
+/// otherwise one is spun up for the call.
+[[nodiscard]] Graph gnm_par(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                            ThreadPool* pool = nullptr);
+
+/// Chunked parallel R-MAT; same skew/clustering shape as gen::rmat, at most
+/// m edges, deterministic for every thread count. Same pool contract as
+/// gnm_par.
+[[nodiscard]] Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                             double a = 0.57, double b = 0.19, double c = 0.19,
+                             ThreadPool* pool = nullptr);
+
 }  // namespace kmm::gen

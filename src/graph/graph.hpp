@@ -14,6 +14,8 @@
 
 namespace kmm {
 
+class ThreadPool;  // util/thread_pool.hpp — only the parallel ctor needs it
+
 using Vertex = std::uint32_t;
 using Weight = std::uint64_t;
 using EdgeIndex = std::uint64_t;
@@ -30,6 +32,25 @@ struct WeightedEdge {
 
   friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
 };
+
+/// FNV-1a fingerprint of an edge list's (u, v, w) stream — the single
+/// identity check shared by the generator golden pins (tests) and the
+/// input-pipeline determinism cross-checks (benches), so the two can never
+/// silently validate different things.
+[[nodiscard]] inline std::uint64_t edge_list_fingerprint(
+    const std::vector<WeightedEdge>& edges) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& e : edges) {
+    mix(e.u);
+    mix(e.v);
+    mix(e.w);
+  }
+  return h;
+}
 
 /// Canonical global index of the undirected edge {x, y} in [0, n^2).
 [[nodiscard]] constexpr EdgeIndex edge_index(Vertex x, Vertex y, std::uint64_t n) noexcept {
@@ -51,6 +72,17 @@ class Graph {
   /// Builds CSR from an undirected edge list; parallel edges and self-loops
   /// are rejected (checked). Vertices referenced must be < n.
   Graph(std::size_t n, std::vector<WeightedEdge> edges);
+
+  /// Same, with the heavy passes (canonicalize/validate, sort, degree
+  /// count, adjacency fill) parallelized on `pool` — the input-pipeline
+  /// ctor for the n >= 10^6 tier. The result is IDENTICAL to the serial
+  /// ctor for any thread count: the canonical (u, v) edge sort has no equal
+  /// keys (parallel edges are rejected), and each adjacency list is sorted
+  /// ascending by neighbor id, which is exactly the order the serial fill
+  /// produces. Pre-sorted inputs (the chunked generators emit edges in
+  /// canonical order) skip the sort pass entirely. pool == nullptr or small
+  /// inputs fall back to the serial path.
+  Graph(std::size_t n, std::vector<WeightedEdge> edges, ThreadPool* pool);
 
   [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
@@ -89,6 +121,9 @@ class Graph {
   }
 
  private:
+  void build_serial(std::vector<WeightedEdge> edges);
+  void build_parallel(std::vector<WeightedEdge> edges, ThreadPool& pool);
+
   std::size_t n_ = 0;
   std::vector<std::size_t> offsets_;  // n_+1 entries
   std::vector<HalfEdge> adj_;

@@ -45,18 +45,16 @@ MachineId VertexPartition::home(Vertex v) const {
   return table_[v];
 }
 
-std::vector<Vertex> VertexPartition::hosted_by(MachineId i) const {
-  std::vector<Vertex> out;
+void VertexPartition::hosted_by(MachineId i, std::vector<Vertex>& out) const {
+  out.clear();
   for (Vertex v = 0; v < n_; ++v) {
     if (home(v) == i) out.push_back(v);
   }
-  return out;
 }
 
-std::vector<std::size_t> VertexPartition::loads() const {
-  std::vector<std::size_t> load(k_, 0);
-  for (Vertex v = 0; v < n_; ++v) ++load[home(v)];
-  return load;
+void VertexPartition::loads(std::vector<std::size_t>& out) const {
+  out.assign(k_, 0);
+  for (Vertex v = 0; v < n_; ++v) ++out[home(v)];
 }
 
 EdgePartition EdgePartition::random(std::size_t /*m*/, MachineId k, std::uint64_t seed) {
@@ -68,10 +66,9 @@ MachineId EdgePartition::home(std::size_t edge_pos) const {
   return static_cast<MachineId>(split(seed_, edge_pos) % k_);
 }
 
-std::vector<std::size_t> EdgePartition::loads(std::size_t m) const {
-  std::vector<std::size_t> load(k_, 0);
-  for (std::size_t e = 0; e < m; ++e) ++load[home(e)];
-  return load;
+void EdgePartition::loads(std::size_t m, std::vector<std::size_t>& out) const {
+  out.assign(k_, 0);
+  for (std::size_t e = 0; e < m; ++e) ++out[home(e)];
 }
 
 }  // namespace kmm

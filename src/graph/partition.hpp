@@ -42,11 +42,15 @@ class VertexPartition {
   [[nodiscard]] MachineId machines() const noexcept { return k_; }
   [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
 
-  /// Vertices hosted by machine i.
-  [[nodiscard]] std::vector<Vertex> hosted_by(MachineId i) const;
+  /// Fills `out` with the vertices hosted by machine i (ascending ids).
+  /// The buffer is cleared first and its capacity retained, so repeated
+  /// calls on a warm buffer allocate nothing — the setup-path discipline
+  /// the parallel input pipeline relies on.
+  void hosted_by(MachineId i, std::vector<Vertex>& out) const;
 
-  /// Per-machine vertex counts (for balance assertions).
-  [[nodiscard]] std::vector<std::size_t> loads() const;
+  /// Fills `out` with per-machine vertex counts (for balance assertions);
+  /// same caller-provided-buffer contract as hosted_by.
+  void loads(std::vector<std::size_t>& out) const;
 
  private:
   VertexPartition(std::size_t n, MachineId k) : n_(n), k_(k) {}
@@ -65,7 +69,9 @@ class EdgePartition {
 
   [[nodiscard]] MachineId home(std::size_t edge_pos) const;
   [[nodiscard]] MachineId machines() const noexcept { return k_; }
-  [[nodiscard]] std::vector<std::size_t> loads(std::size_t m) const;
+  /// Per-machine edge counts for the first `m` edges; caller-provided
+  /// buffer, mirroring VertexPartition::loads.
+  void loads(std::size_t m, std::vector<std::size_t>& out) const;
 
  private:
   EdgePartition(MachineId k, std::uint64_t seed) : k_(k), seed_(seed) {}

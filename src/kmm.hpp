@@ -8,10 +8,11 @@
 //   cluster    — the k-machine synchronous-round simulator and partitions
 //   runtime    — thread-parallel superstep execution: per-machine
 //                MachineProgram handlers run on a worker pool with
-//                per-source sharded outboxes, a barrier, and a
-//                deterministic machine-order merge into the cluster's
-//                single delivery/accounting path. Invariant: the
-//                ClusterStats ledger is independent of the thread count.
+//                per-source destination-bucketed outbox shards, a barrier,
+//                and the cluster's direct per-destination delivery plane
+//                (k concurrent shard→inbox tasks + a deterministic ledger
+//                reduction). Invariant: the ClusterStats ledger is
+//                independent of the thread count.
 //   sketch     — linear l0-sampling graph sketches
 //   core       — connectivity / MST / min-cut / verification + baselines
 //                (the Borůvka engine executes on the runtime; set
@@ -45,11 +46,12 @@
 #include "lowerbound/two_party_sim.hpp"
 #include "runtime/machine_program.hpp"
 #include "runtime/outbox.hpp"
+#include "runtime/phase_timers.hpp"
 #include "runtime/runtime.hpp"
-#include "runtime/thread_pool.hpp"
 #include "sketch/graph_sketch.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"
 #include "sketch/sketch_pool.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"

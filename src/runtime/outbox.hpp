@@ -9,18 +9,22 @@
 //                     time in machine order, so the global send order is the
 //                     classic "for each machine, send" order);
 //  * sharded mode   — writes into a private per-source OutboxShard owned by
-//                     the Runtime (message buffer + payload arena, both
-//                     capacity-retaining); after the superstep barrier the
-//                     Runtime merges shards in ascending machine order,
-//                     reproducing exactly the direct-mode global order
+//                     the Runtime (per-destination message buckets + payload
+//                     arena, all capacity-retaining; the type lives in
+//                     cluster/cluster.hpp because the delivery plane
+//                     consumes it directly); after the superstep barrier the
+//                     Runtime delivers the shards through the Cluster's
+//                     direct per-destination delivery plane, which
+//                     reproduces exactly the direct-mode per-inbox order
 //                     regardless of how handler execution interleaved
 //                     across threads.
 //
-// Either way every message reaches Cluster::superstep(), the single
-// delivery/accounting path, so the round/bit ledger cannot diverge between
-// the two execution modes. Payloads are passed as spans and copied at send
-// time (inline in the Message when <= kInlinePayloadWords, else into the
-// owning arena), so callers may reuse their scratch buffers immediately.
+// Either way every message reaches the Cluster's delivery/accounting
+// plane (superstep() or deliver_shards_*, which share the ledger rules by
+// construction), so the round/bit ledger cannot diverge between the two
+// execution modes. Payloads are passed as spans and copied at send time
+// (inline in the Message when <= kInlinePayloadWords, else into the owning
+// arena), so callers may reuse their scratch buffers immediately.
 
 #include <cstdint>
 #include <initializer_list>
@@ -33,19 +37,6 @@
 #include "util/assert.hpp"
 
 namespace kmm {
-
-/// One machine's private send buffer in sharded mode: the messages plus the
-/// arena backing their spilled payloads. clear() retains the capacity of
-/// both, so a warm shard absorbs a whole superstep without allocating.
-struct OutboxShard {
-  std::vector<Message> messages;
-  PayloadArena arena;
-
-  void clear() noexcept {
-    messages.clear();
-    arena.reset();
-  }
-};
 
 class Outbox {
  public:
@@ -69,7 +60,8 @@ class Outbox {
     if (cluster_ != nullptr) {
       cluster_->send(self_, dst, tag, payload, bits);
     } else {
-      shard_->messages.push_back(Message::make(self_, dst, tag, payload, bits, shard_->arena));
+      shard_->buckets[dst].push_back(
+          Message::make(self_, dst, tag, payload, bits, shard_->arena));
     }
   }
 

@@ -1,0 +1,50 @@
+#pragma once
+// Process-wide accumulated wall time of the three superstep phases.
+//
+// Every Runtime::step() adds its phase durations here:
+//   handler — per-machine local computation (the parallel_for, or the
+//             sequential machine loop on the threads=1 path);
+//   deliver — moving messages into inboxes (the parallel per-destination
+//             shard scan, or Cluster::superstep() on the sequential path);
+//   reduce  — folding the per-destination ledger partials into ClusterStats
+//             (zero on the sequential path, whose delivery accounts inline).
+//
+// Global atomics rather than per-Runtime members because the interesting
+// callers (bench thread-scaling sections) sit above algorithm entry points
+// that construct their own Runtime internally — the same reason the
+// counting-allocator hook is a process counter. Snapshot before/after a
+// region and subtract, exactly like alloc_count().
+
+#include <atomic>
+#include <cstdint>
+
+namespace kmm {
+
+struct RuntimePhaseTotals {
+  std::uint64_t handler_ns = 0;
+  std::uint64_t deliver_ns = 0;
+  std::uint64_t reduce_ns = 0;
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_phase_handler_ns{0};
+inline std::atomic<std::uint64_t> g_phase_deliver_ns{0};
+inline std::atomic<std::uint64_t> g_phase_reduce_ns{0};
+}  // namespace detail
+
+/// Cumulative phase times since program start (monotonic).
+[[nodiscard]] inline RuntimePhaseTotals runtime_phase_totals() noexcept {
+  return RuntimePhaseTotals{
+      detail::g_phase_handler_ns.load(std::memory_order_relaxed),
+      detail::g_phase_deliver_ns.load(std::memory_order_relaxed),
+      detail::g_phase_reduce_ns.load(std::memory_order_relaxed)};
+}
+
+inline void add_phase_times(std::uint64_t handler_ns, std::uint64_t deliver_ns,
+                            std::uint64_t reduce_ns) noexcept {
+  detail::g_phase_handler_ns.fetch_add(handler_ns, std::memory_order_relaxed);
+  detail::g_phase_deliver_ns.fetch_add(deliver_ns, std::memory_order_relaxed);
+  detail::g_phase_reduce_ns.fetch_add(reduce_ns, std::memory_order_relaxed);
+}
+
+}  // namespace kmm

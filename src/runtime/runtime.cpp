@@ -1,11 +1,22 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "runtime/phase_timers.hpp"
 #include "util/assert.hpp"
 
 namespace kmm {
+
+namespace {
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 unsigned resolve_threads(unsigned requested, MachineId k) {
   unsigned t = requested;
@@ -18,6 +29,7 @@ Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
   if (threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(threads_);
     shards_.resize(cluster_->k());
+    for (auto& shard : shards_) shard.resize(cluster_->k());
   }
 }
 
@@ -28,26 +40,50 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
   if (pool_ == nullptr || mode == StepMode::kInline) {
     // Sequential path: handlers write directly into the cluster outbox in
     // machine order — the legacy "for each machine, compute and send" loop.
+    const std::uint64_t t0 = now_ns();
     for (MachineId i = 0; i < k; ++i) {
       Outbox out(*cluster_, i);
       program.on_superstep(i, cluster_->inbox(i), out);
     }
-    return cluster_->superstep();
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t rounds = cluster_->superstep();
+    add_phase_times(t1 - t0, now_ns() - t1, 0);
+    return rounds;
   }
   // Parallel path: every handler owns shard i; inboxes are read-only until
-  // the barrier, and the merge below restores the sequential global order.
+  // the barrier, after which the k per-destination delivery tasks move the
+  // buckets straight into their inboxes — one move per message, no staging
+  // outbox — and the finish call reduces the ledger partials.
+  const std::uint64_t t0 = now_ns();
   pool_->parallel_for(k, [&](std::size_t i) {
     const auto self = static_cast<MachineId>(i);
-    shards_[i].clear();  // buffer and arena capacity retained from last step
+    shards_[i].clear();  // buckets and arena capacity retained from last step
     Outbox out(shards_[i], self, k);
     program.on_superstep(self, cluster_->inbox(self), out);
   });
-  for (MachineId i = 0; i < k; ++i) {
-    // Re-homes spilled payloads into the cluster's pending arena, so the
-    // shard (messages + arena) is free for reuse next step.
-    cluster_->enqueue_batch(std::move(shards_[i].messages));
+  const std::uint64_t t1 = now_ns();
+  if (cluster_->has_staged()) {
+    // Rare fallback: direct Cluster::send() calls were staged between
+    // steps. Merge the shards behind them in (source, destination) order —
+    // per-inbox order equals the sequential path's — and deliver through
+    // the legacy single-pass accounting.
+    for (MachineId src = 0; src < k; ++src) {
+      for (MachineId dst = 0; dst < k; ++dst) {
+        cluster_->enqueue_batch(std::move(shards_[src].buckets[dst]));
+      }
+    }
+    const std::uint64_t rounds = cluster_->superstep();
+    add_phase_times(t1 - t0, now_ns() - t1, 0);
+    return rounds;
   }
-  return cluster_->superstep();
+  cluster_->deliver_shards_begin(shards_);
+  pool_->parallel_for(k, [&](std::size_t i) {
+    cluster_->deliver_shard_to(static_cast<MachineId>(i));
+  });
+  const std::uint64_t t2 = now_ns();
+  const std::uint64_t rounds = cluster_->deliver_shards_finish();
+  add_phase_times(t1 - t0, t2 - t1, now_ns() - t2);
+  return rounds;
 }
 
 std::uint64_t Runtime::run(MachineProgram& program, std::uint64_t max_supersteps) {

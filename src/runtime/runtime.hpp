@@ -3,20 +3,27 @@
 //
 // The sequential Cluster charges rounds by the most-loaded link, but
 // executing all k machines' local computation on one thread makes wall-clock
-// time scale with *total* work. The Runtime closes that gap: it runs the k
-// per-machine handlers of a superstep on a worker pool, each writing to a
-// private per-source outbox shard, then — after a barrier — merges the
-// shards in ascending machine order and delivers through the one shared
-// accounting path, Cluster::superstep().
+// time scale with *total* work. The Runtime closes that gap twice over: it
+// runs the k per-machine handlers of a superstep on a worker pool, each
+// writing to a private per-source outbox shard bucketed by destination, then
+// — after a barrier — delivers the shards through the Cluster's direct
+// per-destination delivery plane (deliver_shards_begin / deliver_shard_to /
+// deliver_shards_finish): k independent delivery tasks, one per destination,
+// each moving its buckets straight into its inbox, with the ledger reduced
+// deterministically afterwards. Both halves of the superstep — compute and
+// delivery — parallelize.
 //
-// Invariant (tested by tests/test_runtime.cpp): the ClusterStats ledger —
-// rounds, supersteps, messages, bits, per-link maxima, per-machine traffic,
-// cut bits — is bit-identical for every thread count, including the
-// sequential threads=1 path, because
-//   * shard merge order (machine 0, 1, ..., k-1; per-machine send order
-//     preserved) equals the sequential global send order, and
-//   * all delivery/accounting lives in Cluster::superstep(), which both
-//     paths share.
+// Invariant (tested by tests/test_runtime.cpp and tests/test_delivery.cpp):
+// the ClusterStats ledger — rounds, supersteps, messages, bits, per-link
+// maxima, per-machine traffic, cut bits — is bit-identical for every thread
+// count, including the sequential threads=1 path, because
+//   * destination d's delivery task walks the shards' d-buckets in
+//     ascending source order (per-machine send order preserved), which is
+//     exactly the sequential global send order projected onto inbox d, and
+//   * the ledger reduction folds per-link partials in ascending (src, dst)
+//     order, and every reduced quantity is an unsigned sum or maximum of
+//     the same per-link values the sequential pass accumulates
+//     message-by-message (see cluster.hpp for the delivery contract).
 //
 // threads semantics: 1 = sequential in-line execution (no pool, handlers
 // write directly into the cluster outbox); 0 = hardware concurrency; any
@@ -56,6 +63,14 @@
 //   5. Give the public entry point a config with a `threads` field
 //      (mirroring BoruvkaConfig::threads) and build one
 //      Runtime(cluster, RuntimeConfig{config.threads}) per run.
+//   6. Handlers must not assume inboxes are populated between shards:
+//      delivery runs as k concurrent per-destination tasks after the
+//      handler barrier, so during a step the only readable inbox state is
+//      the span the handler was given (the *previous* step's delivery,
+//      complete by construction). Never stash a Cluster::inbox() span or a
+//      Message::payload() span across steps — both are recycled when the
+//      next delivery begins — and never poke another machine's inbox from
+//      a handler.
 //
 // Because the handler order in sequential mode and the shard-merge order in
 // parallel mode are both ascending machine order, a ported algorithm's sends
@@ -75,7 +90,7 @@
 #include "cluster/cluster.hpp"
 #include "runtime/machine_program.hpp"
 #include "runtime/outbox.hpp"
-#include "runtime/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kmm {
 

@@ -1,4 +1,4 @@
-#include "runtime/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include "util/assert.hpp"
 

@@ -1,5 +1,7 @@
 #pragma once
-// Barrier-style worker pool for the parallel superstep runtime.
+// Barrier-style worker pool — a leaf utility (no kmm dependencies) shared
+// by the parallel superstep runtime and the parallel input pipeline
+// (chunked generators, CSR construction, hosted-list builds).
 //
 // parallel_for(count, fn) invokes fn(i) for every i in [0, count) across the
 // pool and returns only when all invocations have completed — the barrier
@@ -27,6 +29,19 @@
 #include <vector>
 
 namespace kmm {
+
+/// Chunk-count policy for data-parallel passes over `items` elements: a few
+/// chunks per worker to absorb skew, bounded below by a per-chunk `grain`
+/// so tiny inputs don't drown in dispatch overhead. Scheduling only — a
+/// pass's RESULT must never depend on this value (the chunked generators
+/// size their streams independently, because there chunking IS identity).
+[[nodiscard]] constexpr std::size_t parallel_chunks(std::size_t items, unsigned workers,
+                                                    std::size_t grain = 4096) noexcept {
+  const std::size_t by_worker = static_cast<std::size_t>(workers) * 4;
+  const std::size_t by_grain = grain != 0 && items / grain > 0 ? items / grain : 1;
+  const std::size_t chunks = by_worker < by_grain ? by_worker : by_grain;
+  return chunks > 0 ? chunks : 1;
+}
 
 class ThreadPool {
  public:

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kmm {
 namespace {
@@ -164,6 +167,130 @@ TEST(GeneratorsDeath, InvalidParameters) {
   EXPECT_DEATH(gen::gnm(4, 100, rng), "too many edges");
   EXPECT_DEATH(gen::connected_gnm(10, 3, rng), "at least n-1");
   EXPECT_DEATH(gen::dumbbell(10, 5, rng), "lambda");
+}
+
+// ------------------------------------------------ chunked parallel pipeline
+
+gen::ParGenConfig pinned_config(unsigned threads) {
+  gen::ParGenConfig cfg;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  cfg.edges_per_chunk = 1 << 10;  // many chunks, so chunking is exercised
+  cfg.weight_limit = 1000;
+  return cfg;
+}
+
+TEST(ParallelGenerators, GnmParIdenticalAcrossThreadCounts) {
+  const Graph base = gen::gnm_par(5000, 20000, pinned_config(1));
+  EXPECT_EQ(base.num_vertices(), 5000u);
+  EXPECT_EQ(base.num_edges(), 20000u);  // exactly m distinct edges
+  for (const unsigned threads : {2u, 8u}) {
+    const Graph g = gen::gnm_par(5000, 20000, pinned_config(threads));
+    EXPECT_EQ(g.edges(), base.edges()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelGenerators, RmatParIdenticalAcrossThreadCounts) {
+  const Graph base = gen::rmat_par(4096, 16000, pinned_config(1));
+  EXPECT_LE(base.num_edges(), 16000u);
+  EXPECT_GT(base.num_edges(), 12000u);  // most attempts land in the sparse regime
+  for (const unsigned threads : {2u, 8u}) {
+    const Graph g = gen::rmat_par(4096, 16000, pinned_config(threads));
+    EXPECT_EQ(g.edges(), base.edges()) << "threads=" << threads;
+  }
+}
+
+// The golden pins freeze the generated graphs for one seed per generator:
+// any change to the stream layout (chunk tags, PRNG, decode, weight PRF,
+// stratification plan) fails here loudly and must be treated as a breaking
+// change to every recorded benchmark input.
+TEST(ParallelGenerators, GnmParGoldenPin) {
+  const Graph g = gen::gnm_par(5000, 20000, pinned_config(8));
+  ASSERT_EQ(g.num_edges(), 20000u);
+  EXPECT_EQ(edge_list_fingerprint(g.edges()), 0x0b672eb6a2f6a8ddULL);
+  EXPECT_EQ(g.edges().front(), (WeightedEdge{0, 422, 52}));
+  EXPECT_EQ(g.edges().back(), (WeightedEdge{4970, 4991, 680}));
+}
+
+TEST(ParallelGenerators, RmatParGoldenPin) {
+  const Graph g = gen::rmat_par(4096, 16000, pinned_config(8));
+  ASSERT_EQ(g.num_edges(), 14046u);
+  EXPECT_EQ(edge_list_fingerprint(g.edges()), 0x6623480e8c5a2cb5ULL);
+  EXPECT_EQ(g.edges().front(), (WeightedEdge{0, 1, 103}));
+  EXPECT_EQ(g.edges().back(), (WeightedEdge{3634, 4066, 292}));
+}
+
+TEST(ParallelGenerators, GnmParStructureAndWeights) {
+  const auto cfg = pinned_config(4);
+  const Graph g = gen::gnm_par(3000, 12000, cfg);
+  // Canonical order, distinct edges, weights within [1, limit].
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    const auto& e = g.edges()[i];
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 3000u);
+    EXPECT_GE(e.w, 1u);
+    EXPECT_LE(e.w, cfg.weight_limit);
+    if (i > 0) {
+      const bool ascending =
+          std::pair{g.edges()[i - 1].u, g.edges()[i - 1].v} < std::pair{e.u, e.v};
+      EXPECT_TRUE(ascending);
+    }
+  }
+  // Unweighted flavor: every weight is 1.
+  auto unweighted = cfg;
+  unweighted.weight_limit = 0;
+  const Graph g0 = gen::gnm_par(3000, 12000, unweighted);
+  for (const auto& e : g0.edges()) EXPECT_EQ(e.w, 1u);
+}
+
+TEST(ParallelGenerators, GnmParRmatParSkewSanity) {
+  // rmat_par keeps the serial generator's degree skew; gnm_par does not.
+  const Graph r = gen::rmat_par(2048, 8000, pinned_config(4));
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < 2048; ++v) max_deg = std::max(max_deg, r.degree(v));
+  EXPECT_GE(max_deg, 4 * (2 * r.num_edges() / 2048));
+}
+
+TEST(ParallelBuild, GraphCtorMatchesSerialOnShuffledEdges) {
+  // Above the parallel cutoff, with a deliberately unsorted and
+  // un-canonicalized edge list, the pool ctor must produce the identical
+  // Graph (edge list AND adjacency) as the serial ctor.
+  Rng rng(21);
+  const Graph source = gen::gnm(2000, 40000, rng);
+  std::vector<WeightedEdge> edges = source.edges();
+  for (auto& e : edges) {
+    e.w = 1 + rng.next_below(1 << 20);
+    if (rng.next_bool(0.5)) std::swap(e.u, e.v);  // un-canonicalize
+  }
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.next_below(i)]);  // shuffle
+  }
+  const Graph serial(2000, edges);
+  ThreadPool pool(4);
+  const Graph parallel(2000, edges, &pool);
+  ASSERT_EQ(parallel.num_edges(), serial.num_edges());
+  EXPECT_EQ(parallel.edges(), serial.edges());
+  EXPECT_EQ(parallel.max_weight(), serial.max_weight());
+  for (Vertex v = 0; v < 2000; ++v) {
+    const auto a = serial.neighbors(v);
+    const auto b = parallel.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "v=" << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to) << "v=" << v;
+      EXPECT_EQ(a[i].weight, b[i].weight) << "v=" << v;
+    }
+  }
+}
+
+TEST(ParallelBuild, PreSortedInputSkipsNothingObservable) {
+  // gnm_par emits canonical order; force both ctor paths over the same
+  // pre-sorted list and demand identity.
+  const Graph g = gen::gnm_par(4000, 40000, pinned_config(2));
+  const Graph serial(4000, g.edges());
+  ThreadPool pool(4);
+  const Graph parallel(4000, g.edges(), &pool);
+  EXPECT_EQ(parallel.edges(), serial.edges());
+  EXPECT_EQ(parallel.degree(17), serial.degree(17));
 }
 
 }  // namespace
