@@ -39,9 +39,13 @@ struct PhaseMs {
   double reduce_ms = 0.0;
 
   static PhaseMs between(const RuntimePhaseTotals& before, const RuntimePhaseTotals& after) {
-    return PhaseMs{static_cast<double>(after.handler_ns - before.handler_ns) * 1e-6,
-                   static_cast<double>(after.deliver_ns - before.deliver_ns) * 1e-6,
-                   static_cast<double>(after.reduce_ns - before.reduce_ns) * 1e-6};
+    // Saturating subtraction: a torn read of the relaxed process-wide
+    // counters (or swapped arguments) degrades to a 0 column, never to a
+    // ~2^64 ns garbage row in the JSON trajectory.
+    const RuntimePhaseTotals d = after - before;
+    return PhaseMs{static_cast<double>(d.handler_ns) * 1e-6,
+                   static_cast<double>(d.deliver_ns) * 1e-6,
+                   static_cast<double>(d.reduce_ns) * 1e-6};
   }
 };
 
@@ -98,14 +102,59 @@ TimedStats time_stats(const Fn& fn) {
 }
 
 /// One standard connectivity run; returns the full result (stats included).
+/// Pass `obs` to record the run's superstep timeline / trace (the sink is
+/// forwarded through BoruvkaConfig; nullptr keeps the run unobserved).
 inline BoruvkaResult run_connectivity(const Graph& g, MachineId k, std::uint64_t seed,
-                                      unsigned threads = 1) {
+                                      unsigned threads = 1,
+                                      const ObsSink* obs = nullptr) {
   Cluster cluster(ClusterConfig::for_graph(g.num_vertices(), k));
   const DistributedGraph dg(g, VertexPartition::random(g.num_vertices(), k, split(seed, 1)));
   BoruvkaConfig cfg;
   cfg.seed = split(seed, 2);
   cfg.threads = threads;
+  cfg.obs = obs;
   return connected_components(cluster, dg, cfg);
+}
+
+/// Per-superstep wall-time distribution of a recorded timeline: the bench
+/// columns that expose stragglers (one slow superstep hiding in a flat
+/// mean). Times are the handler+deliver+reduce sum per charged superstep,
+/// with the free-superstep carry already folded in by the timeline.
+struct SuperstepWallSummary {
+  std::size_t supersteps = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// `first_row` skips a warmup prefix (benches that warm buffers before the
+/// timed window pass the row count at the end of warmup).
+inline SuperstepWallSummary summarize_superstep_wall(const MetricsTimeline& tl,
+                                                     std::size_t first_row = 0) {
+  SuperstepWallSummary s;
+  if (first_row >= tl.size()) return s;
+  s.supersteps = tl.size() - first_row;
+  std::vector<double> us;
+  us.reserve(s.supersteps);
+  for (std::size_t i = first_row; i < tl.size(); ++i) {
+    const auto& r = tl.row(i);
+    us.push_back(static_cast<double>(r.handler_ns + r.deliver_ns + r.reduce_ns) * 1e-3);
+  }
+  s.p50_us = quantile(us, 0.50);
+  s.p95_us = quantile(us, 0.95);
+  s.max_us = quantile(us, 1.0);
+  return s;
+}
+
+/// The JSON tail for a record carrying a superstep wall-time distribution;
+/// splice into a record_raw() object.
+inline std::string superstep_wall_json(const SuperstepWallSummary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"superstep_p50_us\": %.2f, \"superstep_p95_us\": %.2f, "
+                "\"superstep_max_us\": %.2f",
+                s.p50_us, s.p95_us, s.max_us);
+  return buf;
 }
 
 inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed,

@@ -43,6 +43,7 @@ struct DeliveryRow {
   double deliver_ms = 0.0;
   double reduce_ms = 0.0;
   double allocs_per_superstep = 0.0;
+  SuperstepWallSummary wall;  // per-superstep distribution over the window
 };
 
 /// One synthetic superstep tuned so delivery dominates: the handler only
@@ -50,7 +51,12 @@ struct DeliveryRow {
 /// out `kFanout` messages of `payload_words` words each.
 DeliveryRow run_config(std::size_t payload_words, unsigned threads) {
   Cluster cluster(ClusterConfig{.k = kMachines, .bandwidth_bits = 1 << 16});
-  Runtime rt(cluster, RuntimeConfig{.threads = threads});
+  // Timeline with summarized traffic: the percentile columns need only the
+  // per-row phase ns, and summarized rows keep recording allocation-free.
+  MetricsTimeline timeline(MetricsTimelineConfig{.full_traffic_steps = 0});
+  timeline.reserve(kWarmupSteps + kMeasureSteps + 2, kMachines);
+  const ObsSink obs{&timeline, nullptr};
+  Runtime rt(cluster, RuntimeConfig{.threads = threads, .obs = &obs});
 
   std::vector<std::uint64_t> sink(kMachines, 0);
   std::vector<std::array<std::uint64_t, 16>> scratch(kMachines);
@@ -75,6 +81,7 @@ DeliveryRow run_config(std::size_t payload_words, unsigned threads) {
   };
 
   for (std::size_t s = 0; s < kWarmupSteps; ++s, ++step_index) rt.step(handler);
+  const std::size_t warm_rows = timeline.size();
 
   const auto a0 = alloc_count();
   const auto p0 = runtime_phase_totals();
@@ -83,6 +90,7 @@ DeliveryRow run_config(std::size_t payload_words, unsigned threads) {
   const auto t1 = std::chrono::steady_clock::now();
   const auto p1 = runtime_phase_totals();
   const auto allocs = alloc_count() - a0;
+  const SuperstepWallSummary wall = summarize_superstep_wall(timeline, warm_rows);
 
   // One drain step so the last deliveries are consumed (outside the timer).
   rt.step([&](MachineId self, std::span<const Message> inbox, Outbox&) {
@@ -100,32 +108,35 @@ DeliveryRow run_config(std::size_t payload_words, unsigned threads) {
   row.deliver_ms = phase.deliver_ms;
   row.reduce_ms = phase.reduce_ms;
   row.allocs_per_superstep = static_cast<double>(allocs) / static_cast<double>(kMeasureSteps);
+  row.wall = wall;
   return row;
 }
 
 void run_microbench(BenchJson& json) {
   std::printf("k=%u, %zu msgs/machine/superstep, %zu measured supersteps\n\n", kMachines,
               kFanout, kMeasureSteps);
-  std::printf("%14s %8s %9s %14s %11s %11s %10s %13s\n", "payload_words", "threads",
-              "wall_ms", "msgs/s", "handler_ms", "deliver_ms", "reduce_ms", "allocs/sstep");
+  std::printf("%14s %8s %9s %14s %11s %11s %10s %13s %9s %9s\n", "payload_words",
+              "threads", "wall_ms", "msgs/s", "handler_ms", "deliver_ms", "reduce_ms",
+              "allocs/sstep", "p50_us", "p95_us");
 
   for (const std::size_t payload_words : {1u, 4u, 16u}) {
     for (const unsigned threads : {1u, 2u, 8u}) {
       const auto row = run_config(payload_words, threads);
-      std::printf("%14zu %8u %9.1f %14.0f %11.1f %11.1f %10.1f %13.1f\n", row.payload_words,
-                  row.threads, row.wall_ms, row.msgs_per_sec, row.handler_ms, row.deliver_ms,
-                  row.reduce_ms, row.allocs_per_superstep);
-      char buf[448];
+      std::printf("%14zu %8u %9.1f %14.0f %11.1f %11.1f %10.1f %13.1f %9.1f %9.1f\n",
+                  row.payload_words, row.threads, row.wall_ms, row.msgs_per_sec,
+                  row.handler_ms, row.deliver_ms, row.reduce_ms, row.allocs_per_superstep,
+                  row.wall.p50_us, row.wall.p95_us);
+      char buf[576];
       std::snprintf(buf, sizeof(buf),
                     "{\"section\": \"microbench\", \"payload_words\": %zu, \"threads\": %u, "
                     "\"k\": %u, \"supersteps\": %zu, \"messages_per_superstep\": %zu, "
                     "\"wall_ms\": %.3f, \"msgs_per_sec\": %.0f, \"handler_ms\": %.3f, "
                     "\"deliver_ms\": %.3f, \"reduce_ms\": %.3f, "
-                    "\"allocs_per_superstep\": %.1f}",
+                    "\"allocs_per_superstep\": %.1f, %s}",
                     row.payload_words, row.threads, kMachines, kMeasureSteps,
                     static_cast<std::size_t>(kMachines) * kFanout, row.wall_ms,
                     row.msgs_per_sec, row.handler_ms, row.deliver_ms, row.reduce_ms,
-                    row.allocs_per_superstep);
+                    row.allocs_per_superstep, superstep_wall_json(row.wall).c_str());
       json.record_raw(buf);
     }
   }
@@ -171,9 +182,14 @@ bool run_large_tier(BenchJson& json) {
     const double build_ms = std::chrono::duration<double, std::milli>(b1 - b0).count();
 
     Cluster cluster(ClusterConfig::for_graph(kN, kK));
+    MetricsTimeline timeline(MetricsTimelineConfig{.full_traffic_steps = 0});
+    const ObsSink sink{&timeline, nullptr};
+    FloodingConfig fcfg;
+    fcfg.threads = threads;
+    fcfg.obs = &sink;
     const auto p0 = runtime_phase_totals();
     const auto t0 = std::chrono::steady_clock::now();
-    const auto res = flooding_connectivity(cluster, dg, FloodingConfig{.threads = threads});
+    const auto res = flooding_connectivity(cluster, dg, fcfg);
     const auto t1 = std::chrono::steady_clock::now();
     const PhaseMs phase = PhaseMs::between(p0, runtime_phase_totals());
     const double wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -187,21 +203,24 @@ bool run_large_tier(BenchJson& json) {
       std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
       ok = false;
     }
-    std::printf("%8u %9.0f %9.0f %10llu %9.0f %11.0f %11.0f %10.1f\n", threads, gen_ms,
-                build_ms, static_cast<unsigned long long>(rounds), wall_ms, handler_ms,
-                deliver_ms, reduce_ms);
-    char buf[448];
+    const SuperstepWallSummary wall = summarize_superstep_wall(timeline);
+    std::printf("%8u %9.0f %9.0f %10llu %9.0f %11.0f %11.0f %10.1f  (superstep p95 "
+                "%.0fus, max %.0fus)\n",
+                threads, gen_ms, build_ms, static_cast<unsigned long long>(rounds), wall_ms,
+                handler_ms, deliver_ms, reduce_ms, wall.p95_us, wall.max_us);
+    char buf[576];
     std::snprintf(buf, sizeof(buf),
                   "{\"section\": \"large_tier\", \"family\": \"gnm_par\", \"n\": %zu, "
                   "\"m\": %zu, \"k\": %u, \"threads\": %u, \"gen_ms\": %.1f, "
                   "\"build_ms\": %.1f, \"rounds\": %llu, \"supersteps\": %llu, "
                   "\"wall_ms\": %.1f, \"handler_ms\": %.1f, \"deliver_ms\": %.1f, "
-                  "\"reduce_ms\": %.1f, \"components\": %llu}",
+                  "\"reduce_ms\": %.1f, \"components\": %llu, %s}",
                   kN, g.num_edges(), kK, threads, gen_ms, build_ms,
                   static_cast<unsigned long long>(rounds),
                   static_cast<unsigned long long>(cluster.stats().supersteps), wall_ms,
                   handler_ms, deliver_ms, reduce_ms,
-                  static_cast<unsigned long long>(res.num_components));
+                  static_cast<unsigned long long>(res.num_components),
+                  superstep_wall_json(wall).c_str());
     json.record_raw(buf);
   }
   return ok;

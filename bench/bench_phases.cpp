@@ -3,7 +3,11 @@
 // phase.
 //
 // Prints per-phase component counts across graph families and the
-// phases-used / 12 log2 n budget fraction.
+// phases-used / 12 log2 n budget fraction. Each family's run records a
+// per-superstep metrics timeline (src/obs/), and BENCH_phases.json carries
+// the superstep wall-time distribution (p50/p95/max) alongside the ledger —
+// the columns that expose a straggler superstep hiding in a flat phase
+// table.
 
 #include "bench_common.hpp"
 
@@ -11,8 +15,15 @@ using namespace kmmbench;
 
 namespace {
 
-void trace_family(const char* name, const Graph& g, MachineId k, std::uint64_t seed) {
-  const auto res = run_connectivity(g, k, seed);
+void trace_family(const char* name, const Graph& g, MachineId k, std::uint64_t seed,
+                  BenchJson& json) {
+  MetricsTimeline timeline;
+  const ObsSink sink{&timeline, nullptr};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = run_connectivity(g, k, seed, /*threads=*/1, &sink);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
   const auto budget = 12 * bits_for(g.num_vertices());
   std::printf("\n%s (n=%zu, m=%zu, k=%u): %zu phases / budget %llu\n", name,
               g.num_vertices(), g.num_edges(), k, res.phases.size(),
@@ -29,6 +40,23 @@ void trace_family(const char* name, const Graph& g, MachineId k, std::uint64_t s
                     : 0.0,
                 static_cast<unsigned long long>(ph.rounds));
   }
+
+  const auto wall = summarize_superstep_wall(timeline);
+  std::printf("  superstep wall time over %zu supersteps: p50 %.1fus, p95 %.1fus, "
+              "max %.1fus\n",
+              wall.supersteps, wall.p50_us, wall.p95_us, wall.max_us);
+
+  char rec[512];
+  std::snprintf(rec, sizeof(rec),
+                "{\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
+                "\"rounds\": %llu, \"supersteps\": %llu, \"phases\": %zu, "
+                "\"phase_budget\": %llu, \"wall_ms\": %.3f, %s}",
+                name, g.num_vertices(), g.num_edges(), k,
+                static_cast<unsigned long long>(res.stats.rounds),
+                static_cast<unsigned long long>(res.stats.supersteps), res.phases.size(),
+                static_cast<unsigned long long>(budget), wall_ms,
+                superstep_wall_json(wall).c_str());
+  json.record_raw(rec);
 }
 
 }  // namespace
@@ -38,13 +66,14 @@ int main() {
          "<= 12 log n phases w.h.p.; participating components decay by a "
          "constant factor (<= 3/4 per successful phase)");
 
+  BenchJson json("phases");
   Rng rng(101);
-  trace_family("sparse gnm(4096, 1.2n)", gen::gnm(4096, 4915, rng), 16, 103);
-  trace_family("dense gnm(4096, 8n)", gen::gnm(4096, 8 * 4096, rng), 16, 105);
-  trace_family("path(4096)", gen::path(4096), 16, 107);
-  trace_family("grid(64x64)", gen::grid(64, 64), 16, 109);
+  trace_family("sparse gnm(4096, 1.2n)", gen::gnm(4096, 4915, rng), 16, 103, json);
+  trace_family("dense gnm(4096, 8n)", gen::gnm(4096, 8 * 4096, rng), 16, 105, json);
+  trace_family("path(4096)", gen::path(4096), 16, 107, json);
+  trace_family("grid(64x64)", gen::grid(64, 64), 16, 109, json);
   trace_family("communities(4096, 16 blocks)",
-               gen::planted_communities(4096, 16, 0.02, 32, rng), 16, 111);
+               gen::planted_communities(4096, 16, 0.02, 32, rng), 16, 111, json);
 
   // Aggregate decay statistics over many random graphs.
   std::printf("\naggregate over 20 random graphs (n=2048, m=3n):\n");

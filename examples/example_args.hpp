@@ -1,18 +1,26 @@
 #pragma once
 // Shared argv handling for the small example CLIs: positional arguments
 // plus a `--threads T` flag (the runtime's worker-thread count; 0 = use
-// hardware concurrency). kmachine_cli has a richer flag set and keeps its
-// own parser.
+// hardware concurrency) and the observability outputs `--metrics-out FILE`
+// (per-superstep metrics timeline JSON, aggregate_bench.py-ingestible) and
+// `--trace-out FILE` (Chrome trace-event JSON for chrome://tracing /
+// Perfetto). Both flags accept `--flag FILE` and `--flag=FILE`.
+// kmachine_cli has a richer flag set and keeps its own parser, but reuses
+// ObsScope below.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "kmm.hpp"
+
 namespace kmmex {
 
 struct ExampleArgs {
   unsigned threads = 1;
+  const char* metrics_out = nullptr;  // per-superstep timeline JSON
+  const char* trace_out = nullptr;    // Chrome trace-event JSON
   std::vector<const char*> pos;
 
   /// pos[i] as an integer, or `fallback` when absent.
@@ -21,23 +29,97 @@ struct ExampleArgs {
   }
 };
 
+/// Scenario-side owner of the observability sinks: builds an ObsSink from
+/// the requested output paths, hands `sink()` to every algorithm config of
+/// the run (null when neither flag was given — the run records nothing),
+/// and writes both files once at scope exit. Sequential algorithm calls
+/// sharing one scope concatenate into one timeline/trace, which is the
+/// point: the scenario IS one run.
+class ObsScope {
+ public:
+  ObsScope(const char* metrics_path, const char* trace_path, const char* name)
+      : name_(name), metrics_path_(metrics_path), trace_path_(trace_path) {
+    if (metrics_path_ != nullptr) sink_.timeline = &timeline_;
+    if (trace_path_ != nullptr) sink_.trace = &trace_;
+  }
+  ObsScope(const ExampleArgs& args, const char* name)
+      : ObsScope(args.metrics_out, args.trace_out, name) {}
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() { flush(); }
+
+  /// Pointer for the configs' `obs` field; null when nothing was requested.
+  [[nodiscard]] const kmm::ObsSink* sink() const noexcept {
+    return sink_.empty() ? nullptr : &sink_;
+  }
+
+  /// Write the requested files (idempotent; also run by the destructor).
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (metrics_path_ != nullptr) {
+      if (timeline_.write_json_file(metrics_path_, name_)) {
+        std::fprintf(stderr, "metrics timeline (%zu supersteps) -> %s\n",
+                     timeline_.size(), metrics_path_);
+      } else {
+        std::fprintf(stderr, "cannot write metrics timeline to '%s'\n", metrics_path_);
+      }
+    }
+    if (trace_path_ != nullptr) {
+      if (trace_.write_chrome_json_file(trace_path_)) {
+        std::fprintf(stderr, "chrome trace (%zu spans%s) -> %s\n", trace_.total_spans(),
+                     trace_.dropped() != 0 ? ", ring wrapped" : "", trace_path_);
+      } else {
+        std::fprintf(stderr, "cannot write trace to '%s'\n", trace_path_);
+      }
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* metrics_path_;
+  const char* trace_path_;
+  kmm::MetricsTimeline timeline_;
+  kmm::TraceRecorder trace_;
+  kmm::ObsSink sink_;
+  bool flushed_ = false;
+};
+
 inline ExampleArgs parse_example_args(int argc, char** argv) {
   ExampleArgs args;
+  // Flag-with-value helper accepting both `--flag VALUE` and `--flag=VALUE`;
+  // returns the value (advancing i for the two-token form) or nullptr when
+  // argv[i] is not `flag`. A trailing valueless flag is ignored rather than
+  // misread as a positional argument.
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+    if (argv[i][len] == '\0') return i + 1 < argc ? argv[++i] : nullptr;
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    return nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      // A trailing valueless --threads is ignored rather than misread as a
-      // positional argument; a non-numeric value keeps the default instead
-      // of silently parsing to 0 (= all hardware threads).
-      if (i + 1 < argc) {
-        const char* value = argv[++i];
-        char* end = nullptr;
-        const unsigned long parsed = std::strtoul(value, &end, 10);
-        if (end != value && *end == '\0') {
-          args.threads = static_cast<unsigned>(parsed);
-        } else {
-          std::fprintf(stderr, "ignoring non-numeric --threads value '%s'\n", value);
-        }
+    if (const char* value = flag_value(i, "--threads")) {
+      // A non-numeric value keeps the default instead of silently parsing
+      // to 0 (= all hardware threads).
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end != value && *end == '\0') {
+        args.threads = static_cast<unsigned>(parsed);
+      } else {
+        std::fprintf(stderr, "ignoring non-numeric --threads value '%s'\n", value);
       }
+    } else if (const char* metrics = flag_value(i, "--metrics-out")) {
+      args.metrics_out = metrics;
+    } else if (const char* trace = flag_value(i, "--trace-out")) {
+      args.trace_out = trace;
+    } else if (std::strcmp(argv[i], "--threads") == 0 ||
+               std::strcmp(argv[i], "--metrics-out") == 0 ||
+               std::strcmp(argv[i], "--trace-out") == 0) {
+      // Valueless trailing flag: already reported by flag_value returning
+      // null with i at argc - 1; skip it.
     } else {
       args.pos.push_back(argv[i]);
     }

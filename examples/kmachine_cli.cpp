@@ -14,6 +14,9 @@
 // Common flags: --n --m --k --seed --bandwidth --coordinator --coinflip
 //               --threads T (parallel runtime; 0 = hardware concurrency)
 //               --verify (compare against the sequential reference)
+//               --metrics-out FILE (per-superstep metrics timeline JSON)
+//               --trace-out FILE (Chrome trace JSON for chrome://tracing)
+// Every value flag accepts both `--key value` and `--key=value`.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "example_args.hpp"
 #include "kmm.hpp"
 
 namespace {
@@ -43,6 +47,8 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint64_t bandwidth = 0;  // 0 => ceil(log2 n)^2
   unsigned threads = 1;         // runtime worker threads; 0 => hardware
+  std::string metrics_out;      // per-superstep timeline JSON ("" = off)
+  std::string trace_out;        // Chrome trace-event JSON ("" = off)
   bool coordinator = false;
   bool coinflip = false;
   bool verify = true;
@@ -55,7 +61,8 @@ struct Options {
                "communities|pa|dumbbell|cliquechain\n"
                "          [--n N] [--m M] [--rows R --cols C] [--lambda L]\n"
                "          [--blocks B] [--k K] [--seed S] [--bandwidth BITS]\n"
-               "          [--threads T] [--coordinator] [--coinflip] [--no-verify]\n",
+               "          [--threads T] [--coordinator] [--coinflip] [--no-verify]\n"
+               "          [--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +78,9 @@ Options parse(int argc, char** argv) {
       opt.coinflip = true;
     } else if (arg == "--no-verify") {
       opt.verify = false;
+    } else if (arg.rfind("--", 0) == 0 && arg.find('=') != std::string::npos) {
+      const std::size_t eq = arg.find('=');
+      kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       kv[arg.substr(2)] = argv[++i];
     } else {
@@ -94,6 +104,8 @@ Options parse(int argc, char** argv) {
   opt.seed = get_u64("seed", opt.seed);
   opt.bandwidth = get_u64("bandwidth", 0);
   opt.threads = static_cast<unsigned>(get_u64("threads", opt.threads));
+  if (kv.count("metrics-out")) opt.metrics_out = kv["metrics-out"];
+  if (kv.count("trace-out")) opt.trace_out = kv["trace-out"];
   return opt;
 }
 
@@ -166,11 +178,18 @@ int main(int argc, char** argv) {
   std::printf("bandwidth=%llu bits/link/round\n",
               static_cast<unsigned long long>(cluster.bandwidth_bits()));
 
+  // The sinks live in main's scope, outliving every Runtime of the run;
+  // the files are written when obs goes out of scope (any return path).
+  kmmex::ObsScope obs(opt.metrics_out.empty() ? nullptr : opt.metrics_out.c_str(),
+                      opt.trace_out.empty() ? nullptr : opt.trace_out.c_str(),
+                      opt.algo.c_str());
+
   BoruvkaConfig acfg;
   acfg.seed = split(opt.seed, 0xa190);
   acfg.single_coordinator = opt.coordinator;
   acfg.merge_rule = opt.coinflip ? MergeRule::kCoinFlip : MergeRule::kDrr;
   acfg.threads = opt.threads;
+  acfg.obs = obs.sink();
   if (opt.threads != 1) {
     std::printf("runtime threads: %u requested -> %u effective\n", opt.threads,
                 resolve_threads(opt.threads, opt.k));
@@ -180,6 +199,7 @@ int main(int argc, char** argv) {
     LeaderElectionConfig lcfg;
     lcfg.seed = acfg.seed;
     lcfg.threads = opt.threads;
+    lcfg.obs = obs.sink();
     const auto res = elect_leader(cluster, lcfg);
     std::printf("leader: machine %u\n", res.leader);
     print_stats("leader", res.stats);
@@ -218,6 +238,7 @@ int main(int argc, char** argv) {
   } else if (opt.algo == "flood") {
     FloodingConfig fcfg;
     fcfg.threads = opt.threads;
+    fcfg.obs = obs.sink();
     const auto res = flooding_connectivity(cluster, dg, fcfg);
     std::printf("components=%llu supersteps=%llu\n",
                 static_cast<unsigned long long>(res.num_components),
@@ -226,6 +247,7 @@ int main(int argc, char** argv) {
   } else if (opt.algo == "referee") {
     RefereeConfig rcfg;
     rcfg.threads = opt.threads;
+    rcfg.obs = obs.sink();
     const auto res = referee_connectivity(cluster, dg, rcfg);
     std::printf("components=%llu\n", static_cast<unsigned long long>(res.num_components));
     print_stats("referee", res.stats);
@@ -233,6 +255,7 @@ int main(int argc, char** argv) {
     MinCutConfig mcfg;
     mcfg.seed = acfg.seed;
     mcfg.threads = opt.threads;
+    mcfg.obs = obs.sink();
     const auto res = approximate_min_cut(cluster, dg, mcfg);
     std::printf("estimate=%llu disconnect_level=%d connected=%s\n",
                 static_cast<unsigned long long>(res.estimate), res.disconnect_level,

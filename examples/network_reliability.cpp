@@ -6,6 +6,10 @@
 // rounds — and we compare against the exact Stoer–Wagner value.
 //
 //   ./network_reliability [n] [k] [--threads T]
+//                         [--metrics-out FILE] [--trace-out FILE]
+//
+// The obs flags record the LAST configuration's min-cut sweep (a metrics
+// timeline binds to one cluster, and each trunk count builds a fresh one).
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,9 +26,12 @@ int main(int argc, char** argv) {
 
   std::printf("runtime threads: %u requested -> %u effective (k = %u)\n\n", threads,
               resolve_threads(threads, k), k);
+  kmmex::ObsScope obs(args, "network_reliability");
+  const std::size_t trunk_sweep[] = {2, 6, 18};
+  const std::size_t observed_trunks = trunk_sweep[std::size(trunk_sweep) - 1];
   std::printf("%8s %10s %10s %8s %10s %12s\n", "trunks", "estimate", "exact", "ratio",
               "rounds", "bits");
-  for (const std::size_t trunks : {std::size_t{2}, std::size_t{6}, std::size_t{18}}) {
+  for (const std::size_t trunks : trunk_sweep) {
     Rng rng(split(17, trunks));
     const Graph g = gen::dumbbell(n, trunks, rng);
     const auto exact = ref::stoer_wagner_min_cut(g);
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
     MinCutConfig config;
     config.seed = split(23, trunks);
     config.threads = threads;
+    if (trunks == observed_trunks) config.obs = obs.sink();
     const auto result = approximate_min_cut(cluster, dg, config);
 
     std::printf("%8zu %10llu %10llu %8.2f %10llu %12llu\n", trunks,

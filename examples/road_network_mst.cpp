@@ -6,6 +6,7 @@
 // machine) and validate cost and structure against Kruskal.
 //
 //   ./road_network_mst [rows] [cols] [k] [--threads T]
+//                      [--metrics-out FILE] [--trace-out FILE]
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,9 +40,11 @@ int main(int argc, char** argv) {
 
   Cluster cluster(ClusterConfig::for_graph(n, k));
   const DistributedGraph dg(g, VertexPartition::random(n, k, 31));
+  kmmex::ObsScope obs(args, "road_network_mst");
   BoruvkaConfig config;
   config.seed = 999;
   config.threads = threads;
+  config.obs = obs.sink();
   std::printf("runtime threads: %u requested -> %u effective (k = %u)\n", threads,
               resolve_threads(threads, k), k);
   const auto result = minimum_spanning_forest(cluster, dg, config);

@@ -7,6 +7,10 @@
 // question the k-machine model was built to answer.
 //
 //   ./social_network_components [n] [--threads T]
+//                               [--metrics-out FILE] [--trace-out FILE]
+//
+// The obs flags record the sketch-connectivity run at the LARGEST k of the
+// sweep (a metrics timeline binds to one cluster).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,10 +33,13 @@ int main(int argc, char** argv) {
 
   std::printf("\nruntime threads requested: %u (effective value is clamped to each k)\n",
               threads);
+  kmmex::ObsScope obs(args, "social_network_components");
+  const MachineId k_sweep[] = {4, 8, 16, 32};
+  const MachineId observed_k = k_sweep[std::size(k_sweep) - 1];
   std::printf("\n%6s %8s %16s %16s %14s %14s\n", "k", "threads", "sketch rounds",
               "flooding rounds", "sketch bits", "speedup vs k/2");
   std::uint64_t prev_rounds = 0;
-  for (const MachineId k : {MachineId{4}, MachineId{8}, MachineId{16}, MachineId{32}}) {
+  for (const MachineId k : k_sweep) {
     const VertexPartition part = VertexPartition::random(n, k, 99);
 
     Cluster sketch_cluster(ClusterConfig::for_graph(n, k));
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
     BoruvkaConfig config;
     config.seed = 555;
     config.threads = threads;
+    if (k == observed_k) config.obs = obs.sink();
     const auto sketch = connected_components(sketch_cluster, dg, config);
 
     Cluster flood_cluster(ClusterConfig::for_graph(n, k));

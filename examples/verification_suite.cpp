@@ -5,6 +5,11 @@
 // verifier reduces to the O~(n/k^2) connectivity algorithm.
 //
 //   ./verification_suite [n] [k] [--threads T]
+//                        [--metrics-out FILE] [--trace-out FILE]
+//
+// With the obs flags, all eight verifiers record into ONE timeline/trace
+// (they share the cluster, so the rows concatenate into the audit's full
+// superstep history).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,9 +40,11 @@ int main(int argc, char** argv) {
 
   Cluster cluster(ClusterConfig::for_graph(n, k));
   const DistributedGraph dg(g, VertexPartition::random(n, k, 77));
+  kmmex::ObsScope obs(args, "verification_suite");
   BoruvkaConfig cfg;
   cfg.seed = 88;
   cfg.threads = threads;
+  cfg.obs = obs.sink();
   std::printf("runtime threads: %u requested -> %u effective (k = %u)\n\n", threads,
               resolve_threads(threads, k), k);
 

@@ -166,6 +166,7 @@ std::uint64_t Cluster::deliver_shards_finish() {
   stats_.rounds += rounds;
   ++stats_.supersteps;
   stats_.max_link_bits = std::max(stats_.max_link_bits, max_load);
+  stats_.last_superstep_link_bits = max_load;
   if (max_load > 0) stats_.superstep_link_max.add(static_cast<double>(max_load));
   return rounds;
 }
@@ -215,6 +216,7 @@ std::uint64_t Cluster::deliver_pending() {
   stats_.rounds += rounds;
   ++stats_.supersteps;
   stats_.max_link_bits = std::max(stats_.max_link_bits, max_load);
+  stats_.last_superstep_link_bits = max_load;
   if (max_load > 0) stats_.superstep_link_max.add(static_cast<double>(max_load));
   return rounds;
 }

@@ -83,6 +83,7 @@ struct ClusterStats {
   std::uint64_t total_bits = 0;       // cross-machine wire bits
   std::uint64_t max_link_bits = 0;    // largest per-link load seen in one superstep
   std::uint64_t cut_bits = 0;         // bits crossing the registered machine cut
+  std::uint64_t last_superstep_link_bits = 0;  // most-loaded link of the latest superstep
   Accumulator superstep_link_max;     // distribution of per-superstep max link loads
   std::vector<std::uint64_t> sent_bits_by_machine;
   std::vector<std::uint64_t> received_bits_by_machine;

@@ -109,6 +109,11 @@ struct BoruvkaConfig {
   /// 0 = hardware concurrency; clamped to k). Results and the cluster
   /// ledger are identical for every value — only wall-clock time changes.
   unsigned threads = 1;
+  /// Optional observability sinks, forwarded to every Runtime this config
+  /// builds (engine + the BoruvkaConfig-driven passes: rep_mst, two_edge,
+  /// verification). Null records nothing; the ledger is identical either
+  /// way. See src/obs/obs_sink.hpp.
+  const ObsSink* obs = nullptr;
 };
 
 struct PhaseTrace {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "obs/obs_sink.hpp"
 
 namespace kmm {
 
@@ -33,6 +34,9 @@ struct FloodingConfig {
   /// 0 = hardware concurrency; clamped to k). Results and the cluster
   /// ledger are identical for every value.
   unsigned threads = 1;
+  /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
+  /// nothing and leaves the ledger untouched either way.
+  const ObsSink* obs = nullptr;
 };
 
 struct FloodingResult {

@@ -10,6 +10,7 @@
 // (tiny) local work parallelizes with config.threads > 1.
 
 #include "core/common.hpp"
+#include "obs/obs_sink.hpp"
 
 namespace kmm {
 
@@ -18,6 +19,9 @@ struct LeaderElectionConfig {
   /// Worker threads for per-machine local computation (1 = sequential,
   /// 0 = hardware concurrency; clamped to k).
   unsigned threads = 1;
+  /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
+  /// nothing and leaves the ledger untouched either way.
+  const ObsSink* obs = nullptr;
 };
 
 struct LeaderResult {

@@ -19,6 +19,7 @@ MinCutResult approximate_min_cut(Cluster& cluster, const DistributedGraph& dg,
     BoruvkaConfig conn = config.connectivity;
     conn.seed = split(config.seed, 0);
     conn.threads = config.threads;
+    conn.obs = config.obs;
     const auto base = connected_components(cluster, dg, conn);
     result.graph_connected = base.num_components <= 1;
   }
@@ -53,6 +54,7 @@ MinCutResult approximate_min_cut(Cluster& cluster, const DistributedGraph& dg,
       BoruvkaConfig conn = config.connectivity;
       conn.seed = split3(config.seed, 0x515, trial_seed);
       conn.threads = config.threads;
+      conn.obs = config.obs;
       const auto res = connected_components(cluster, sampled_dg, conn);
       if (res.num_components > 1) ++trace.disconnected_trials;
     }

@@ -26,6 +26,10 @@ struct MinCutConfig {
   /// connectivity.threads; 1 = sequential, 0 = hardware concurrency,
   /// clamped to k). Results and the ledger are thread-invariant.
   unsigned threads = 1;
+  /// Optional observability sinks, forwarded into every inner connectivity
+  /// run (overrides connectivity.obs). One timeline attached here sees the
+  /// whole level sweep as consecutive rows on one cluster ledger.
+  const ObsSink* obs = nullptr;
 };
 
 struct MinCutLevelTrace {

@@ -41,9 +41,12 @@ struct StrictMstOutput {
 
 /// `threads` parallelizes the per-machine announce/collect handlers
 /// (same semantics as BoruvkaConfig::threads; ledger is thread-invariant).
+/// `obs` optionally records the pass into the caller's observability sinks
+/// (same contract as BoruvkaConfig::obs).
 [[nodiscard]] StrictMstOutput announce_mst_to_home_machines(Cluster& cluster,
                                                             const DistributedGraph& dg,
                                                             const BoruvkaResult& mst,
-                                                            unsigned threads = 1);
+                                                            unsigned threads = 1,
+                                                            const ObsSink* obs = nullptr);
 
 }  // namespace kmm

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "obs/obs_sink.hpp"
 
 namespace kmm {
 
@@ -22,6 +23,9 @@ struct RefereeConfig {
   /// Worker threads for per-machine local computation (1 = sequential,
   /// 0 = hardware concurrency; clamped to k).
   unsigned threads = 1;
+  /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
+  /// nothing and leaves the ledger untouched either way.
+  const ObsSink* obs = nullptr;
 };
 
 struct RefereeResult {

@@ -160,7 +160,7 @@ VerifyResult verify_cycle_containment(Cluster& cluster, const DistributedGraph& 
   const StatsScope scope(cluster);
   std::uint64_t m = 0;
   {
-    Runtime rt(cluster, RuntimeConfig{config.threads});
+    Runtime rt(cluster, RuntimeConfig{config.threads, config.obs});
     m = count_edges(rt, dg);
   }
   const auto res = connected_components(cluster, dg, config);

@@ -17,6 +17,9 @@
 //   core       — connectivity / MST / min-cut / verification + baselines
 //                (the Borůvka engine executes on the runtime; set
 //                BoruvkaConfig::threads to parallelize machine-local work)
+//   obs        — opt-in observability: per-superstep MetricsTimeline rows
+//                and Chrome-trace spans, attached through an ObsSink on any
+//                core config (off by default; never perturbs the ledger)
 //   lowerbound — Section 4 two-party simulation artifacts
 
 #include "cluster/cluster.hpp"
@@ -44,6 +47,9 @@
 #include "lowerbound/disjointness.hpp"
 #include "lowerbound/scs_instance.hpp"
 #include "lowerbound/two_party_sim.hpp"
+#include "obs/metrics_timeline.hpp"
+#include "obs/obs_sink.hpp"
+#include "obs/trace_recorder.hpp"
 #include "runtime/machine_program.hpp"
 #include "runtime/outbox.hpp"
 #include "runtime/phase_timers.hpp"

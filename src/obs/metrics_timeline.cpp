@@ -1,0 +1,252 @@
+#include "obs/metrics_timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+namespace obs {
+namespace {
+std::atomic<AllocCountFn> g_alloc_source{nullptr};
+}  // namespace
+
+void set_alloc_count_source(AllocCountFn fn) noexcept {
+  g_alloc_source.store(fn, std::memory_order_relaxed);
+}
+
+std::uint64_t alloc_count_now() noexcept {
+  const AllocCountFn fn = g_alloc_source.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : 0;
+}
+
+}  // namespace obs
+
+MetricsTimeline::MetricsTimeline(MetricsTimelineConfig config) : config_(config) {}
+
+std::size_t MetricsTimeline::top_n() const noexcept {
+  const std::size_t cap = std::min<std::size_t>(k_ != 0 ? k_ : 1, 16);
+  return std::clamp<std::size_t>(config_.top_traffic, 1, cap);
+}
+
+void MetricsTimeline::attach(const Cluster& cluster) {
+  if (cluster_ == &cluster) return;
+  KMM_CHECK_MSG(cluster_ == nullptr,
+                "a MetricsTimeline tracks one Cluster; use a second timeline");
+  cluster_ = &cluster;
+  k_ = cluster.k();
+  const ClusterStats& s = cluster.stats();
+  prev_.rounds = s.rounds;
+  prev_.supersteps = s.supersteps;
+  prev_.messages = s.messages;
+  prev_.local_messages = s.local_messages;
+  prev_.total_bits = s.total_bits;
+  prev_.cut_bits = s.cut_bits;
+  prev_.prev_alloc = obs::alloc_count_now();
+  prev_.sent.assign(s.sent_bits_by_machine.begin(), s.sent_bits_by_machine.end());
+  prev_.received.assign(s.received_bits_by_machine.begin(),
+                        s.received_bits_by_machine.end());
+}
+
+void MetricsTimeline::reserve(std::size_t supersteps, MachineId k) {
+  rows_.reserve(supersteps);
+  const std::size_t full = std::min(supersteps, config_.full_traffic_steps);
+  traffic_.reserve(full * 2 * k);
+  if (supersteps > full) {
+    const std::size_t cap = std::min<std::size_t>(k != 0 ? k : 1, 16);
+    const std::size_t top = std::clamp<std::size_t>(config_.top_traffic, 1, cap);
+    top_.reserve((supersteps - full) * 2 * top);
+  }
+  prev_.sent.reserve(k);
+  prev_.received.reserve(k);
+}
+
+void MetricsTimeline::on_superstep(const Cluster& cluster, std::uint64_t handler_ns,
+                                   std::uint64_t deliver_ns, std::uint64_t reduce_ns) {
+  KMM_DCHECK(cluster_ == &cluster);
+  const ClusterStats& s = cluster.stats();
+  if (s.supersteps == prev_.supersteps) {
+    // Free superstep: nothing was delivered, so the ledger row will come
+    // later — bank the phase time so no wall-clock is lost.
+    carry_handler_ns_ += handler_ns;
+    carry_deliver_ns_ += deliver_ns;
+    carry_reduce_ns_ += reduce_ns;
+    return;
+  }
+
+  Row row;
+  row.superstep = s.supersteps;
+  row.rounds = s.rounds - prev_.rounds;
+  row.messages = s.messages - prev_.messages;
+  row.local_messages = s.local_messages - prev_.local_messages;
+  row.bits = s.total_bits - prev_.total_bits;
+  row.cut_bits = s.cut_bits - prev_.cut_bits;
+  row.link_max_bits = s.last_superstep_link_bits;
+  row.handler_ns = handler_ns + carry_handler_ns_;
+  row.deliver_ns = deliver_ns + carry_deliver_ns_;
+  row.reduce_ns = reduce_ns + carry_reduce_ns_;
+  carry_handler_ns_ = carry_deliver_ns_ = carry_reduce_ns_ = 0;
+  const std::uint64_t alloc_now = obs::alloc_count_now();
+  row.allocs = alloc_now - prev_.prev_alloc;
+  prev_.prev_alloc = alloc_now;
+
+  if (rows_.size() < config_.full_traffic_steps) {
+    for (MachineId m = 0; m < k_; ++m) {
+      traffic_.push_back(s.sent_bits_by_machine[m] - prev_.sent[m]);
+    }
+    for (MachineId m = 0; m < k_; ++m) {
+      traffic_.push_back(s.received_bits_by_machine[m] - prev_.received[m]);
+    }
+    ++full_rows_;
+  } else {
+    // Top-N selection over the per-machine deltas; N <= 16, so a straight
+    // insertion into a stack array beats sorting k values.
+    const std::size_t top = top_n();
+    const auto summarize = [&](const std::vector<std::uint64_t>& now,
+                               const std::vector<std::uint64_t>& before) {
+      std::array<TrafficTop, 16> best{};
+      std::size_t filled = 0;
+      for (MachineId m = 0; m < k_; ++m) {
+        const std::uint64_t delta = now[m] - before[m];
+        if (filled == top && delta <= best[top - 1].bits) continue;
+        std::size_t pos = filled < top ? filled : top - 1;
+        best[pos] = TrafficTop{m, delta};
+        while (pos > 0 && best[pos - 1].bits < best[pos].bits) {
+          std::swap(best[pos - 1], best[pos]);
+          --pos;
+        }
+        if (filled < top) ++filled;
+      }
+      for (std::size_t i = 0; i < top; ++i) {
+        top_.push_back(i < filled ? best[i] : TrafficTop{});
+      }
+    };
+    summarize(s.sent_bits_by_machine, prev_.sent);
+    summarize(s.received_bits_by_machine, prev_.received);
+  }
+
+  prev_.rounds = s.rounds;
+  prev_.supersteps = s.supersteps;
+  prev_.messages = s.messages;
+  prev_.local_messages = s.local_messages;
+  prev_.total_bits = s.total_bits;
+  prev_.cut_bits = s.cut_bits;
+  prev_.sent.assign(s.sent_bits_by_machine.begin(), s.sent_bits_by_machine.end());
+  prev_.received.assign(s.received_bits_by_machine.begin(),
+                        s.received_bits_by_machine.end());
+  rows_.push_back(row);
+}
+
+std::span<const std::uint64_t> MetricsTimeline::sent_bits(std::size_t i) const {
+  if (i >= full_rows_) return {};
+  return {traffic_.data() + i * 2 * k_, static_cast<std::size_t>(k_)};
+}
+
+std::span<const std::uint64_t> MetricsTimeline::received_bits(std::size_t i) const {
+  if (i >= full_rows_) return {};
+  return {traffic_.data() + i * 2 * k_ + k_, static_cast<std::size_t>(k_)};
+}
+
+std::span<const MetricsTimeline::TrafficTop> MetricsTimeline::top_sent(std::size_t i) const {
+  if (i < full_rows_ || i >= rows_.size()) return {};
+  const std::size_t top = top_n();
+  return {top_.data() + (i - full_rows_) * 2 * top, top};
+}
+
+std::span<const MetricsTimeline::TrafficTop> MetricsTimeline::top_received(
+    std::size_t i) const {
+  if (i < full_rows_ || i >= rows_.size()) return {};
+  const std::size_t top = top_n();
+  return {top_.data() + (i - full_rows_) * 2 * top + top, top};
+}
+
+MetricsTimeline::Row MetricsTimeline::totals() const {
+  Row total;
+  for (const Row& r : rows_) {
+    total.superstep = r.superstep;
+    total.rounds += r.rounds;
+    total.messages += r.messages;
+    total.local_messages += r.local_messages;
+    total.bits += r.bits;
+    total.cut_bits += r.cut_bits;
+    total.link_max_bits = std::max(total.link_max_bits, r.link_max_bits);
+    total.handler_ns += r.handler_ns;
+    total.deliver_ns += r.deliver_ns;
+    total.reduce_ns += r.reduce_ns;
+    total.allocs += r.allocs;
+  }
+  return total;
+}
+
+void MetricsTimeline::clear() noexcept {
+  rows_.clear();
+  traffic_.clear();
+  top_.clear();
+  full_rows_ = 0;
+  carry_handler_ns_ = carry_deliver_ns_ = carry_reduce_ns_ = 0;
+  cluster_ = nullptr;
+  k_ = 0;
+}
+
+void MetricsTimeline::write_json(std::FILE* out, const char* name) const {
+  std::fprintf(out,
+               "{\n  \"bench\": \"%s\",\n  \"kind\": \"kmm_metrics_timeline\",\n"
+               "  \"k\": %u,\n  \"supersteps\": %zu,\n  \"records\": [\n",
+               name, k_, rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    std::fprintf(out,
+                 "    {\"superstep\": %llu, \"rounds\": %llu, \"messages\": %llu, "
+                 "\"local_messages\": %llu, \"bits\": %llu, \"cut_bits\": %llu, "
+                 "\"link_max_bits\": %llu, \"handler_ns\": %llu, \"deliver_ns\": %llu, "
+                 "\"reduce_ns\": %llu, \"allocs\": %llu",
+                 static_cast<unsigned long long>(r.superstep),
+                 static_cast<unsigned long long>(r.rounds),
+                 static_cast<unsigned long long>(r.messages),
+                 static_cast<unsigned long long>(r.local_messages),
+                 static_cast<unsigned long long>(r.bits),
+                 static_cast<unsigned long long>(r.cut_bits),
+                 static_cast<unsigned long long>(r.link_max_bits),
+                 static_cast<unsigned long long>(r.handler_ns),
+                 static_cast<unsigned long long>(r.deliver_ns),
+                 static_cast<unsigned long long>(r.reduce_ns),
+                 static_cast<unsigned long long>(r.allocs));
+    if (i < full_rows_) {
+      const auto emit = [&](const char* key, std::span<const std::uint64_t> v) {
+        std::fprintf(out, ", \"%s\": [", key);
+        for (std::size_t m = 0; m < v.size(); ++m) {
+          std::fprintf(out, "%s%llu", m != 0 ? ", " : "",
+                       static_cast<unsigned long long>(v[m]));
+        }
+        std::fprintf(out, "]");
+      };
+      emit("sent_bits", sent_bits(i));
+      emit("received_bits", received_bits(i));
+    } else {
+      const auto emit = [&](const char* key, std::span<const TrafficTop> v) {
+        std::fprintf(out, ", \"%s\": [", key);
+        for (std::size_t t = 0; t < v.size(); ++t) {
+          std::fprintf(out, "%s[%u, %llu]", t != 0 ? ", " : "", v[t].machine,
+                       static_cast<unsigned long long>(v[t].bits));
+        }
+        std::fprintf(out, "]");
+      };
+      emit("top_sent", top_sent(i));
+      emit("top_received", top_received(i));
+    }
+    std::fprintf(out, "}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+bool MetricsTimeline::write_json_file(const char* path, const char* name) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  write_json(f, name);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace kmm

@@ -1,0 +1,159 @@
+#pragma once
+// Per-superstep metrics timeline — the run-resolution view of the cluster
+// ledger.
+//
+// ClusterStats is a process-lifetime aggregate: it can say a run cost
+// 40k rounds but not which superstep was slow, which destination straggled,
+// or how per-machine traffic skews as phases progress. A MetricsTimeline
+// attached through an ObsSink records, for every *ledger* superstep (a
+// Runtime::step that actually delivered data), the ClusterStats delta since
+// the previous recorded superstep:
+//
+//   rounds, messages, local_messages, bits, cut_bits   (unsigned deltas)
+//   link_max_bits                                      (this superstep's
+//                                                       most-loaded link)
+//   handler_ns / deliver_ns / reduce_ns                (phase wall time,
+//                                                       incl. preceding
+//                                                       free supersteps)
+//   allocs                                             (alloc-count delta;
+//                                                       0 unless a counting
+//                                                       allocator registered
+//                                                       via obs_sink.hpp)
+//   per-machine sent/received wire bits                (see below)
+//
+// Because rows are deltas between consecutive snapshots of the same
+// monotone ledger, summing them reproduces the final ClusterStats exactly
+// (tests/test_obs.cpp pins this across thread counts {1,2,8}); rounds
+// charged analytically between supersteps (Cluster::charge_rounds, e.g.
+// the Section 2.2 shared-randomness relay) fold into the next row.
+//
+// Traffic resolution: the first `full_traffic_steps` rows store the full
+// per-machine sent/received delta vectors (2k words per row); rows beyond
+// that store only the top `top_traffic` senders/receivers, keeping memory
+// O(k + steps) instead of O(k * steps) on long runs while still exposing
+// skew (the quantity the paper's proxy argument is about).
+//
+// Steady-state allocation behavior: every container grows geometrically
+// and retains capacity; call reserve() (or just warm up) and recording is
+// allocation-free. One timeline tracks one Cluster; sequential reuse
+// across Runtimes on that cluster (min-cut's inner runs, Borůvka + the
+// strict-MST announce pass) concatenates naturally.
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "obs/obs_sink.hpp"
+
+namespace kmm {
+
+struct MetricsTimelineConfig {
+  /// Rows up to this index keep full per-machine traffic vectors; later
+  /// rows keep only the top-N summary.
+  std::size_t full_traffic_steps = 256;
+  /// Entries per top-N summary (clamped to [1, min(k, 16)]).
+  std::size_t top_traffic = 4;
+};
+
+class MetricsTimeline {
+ public:
+  struct Row {
+    std::uint64_t superstep = 0;  // ledger ordinal (ClusterStats::supersteps)
+    std::uint64_t rounds = 0;     // incl. charge_rounds since the last row
+    std::uint64_t messages = 0;
+    std::uint64_t local_messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t cut_bits = 0;
+    std::uint64_t link_max_bits = 0;  // most-loaded link of this superstep
+    std::uint64_t handler_ns = 0;     // incl. preceding free supersteps
+    std::uint64_t deliver_ns = 0;
+    std::uint64_t reduce_ns = 0;
+    std::uint64_t allocs = 0;
+  };
+
+  /// One (machine, bits) entry of a top-N traffic summary row.
+  struct TrafficTop {
+    std::uint32_t machine = 0;
+    std::uint64_t bits = 0;
+  };
+
+  explicit MetricsTimeline(MetricsTimelineConfig config = {});
+
+  /// Bind to the cluster whose ledger is observed and snapshot the
+  /// baseline. Called by the Runtime before the first handler runs;
+  /// idempotent, and a second cluster is rejected (one timeline = one
+  /// ledger).
+  void attach(const Cluster& cluster);
+
+  /// Record the delta since the previous call (or attach). Free supersteps
+  /// (no data delivered) accumulate their phase time and allocations into
+  /// the next charged row, so row count == ledger superstep count by
+  /// construction. Called by Runtime::step after delivery.
+  void on_superstep(const Cluster& cluster, std::uint64_t handler_ns,
+                    std::uint64_t deliver_ns, std::uint64_t reduce_ns);
+
+  /// Pre-size every container for `supersteps` rows on a k-machine
+  /// cluster, making subsequent recording allocation-free from row 0.
+  void reserve(std::size_t supersteps, MachineId k);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] const Row& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] MachineId k() const noexcept { return k_; }
+
+  /// Per-machine traffic of row i; empty spans when the row is past the
+  /// full-resolution threshold (use top_sent/top_received there).
+  [[nodiscard]] std::span<const std::uint64_t> sent_bits(std::size_t i) const;
+  [[nodiscard]] std::span<const std::uint64_t> received_bits(std::size_t i) const;
+  [[nodiscard]] std::span<const TrafficTop> top_sent(std::size_t i) const;
+  [[nodiscard]] std::span<const TrafficTop> top_received(std::size_t i) const;
+
+  /// Summed rows (link_max_bits is the maximum, matching the ledger's
+  /// running-max semantics); superstep is the last row's ordinal.
+  [[nodiscard]] Row totals() const;
+
+  /// Total wall nanoseconds of row i (handler + deliver + reduce).
+  [[nodiscard]] std::uint64_t wall_ns(std::size_t i) const {
+    const Row& r = rows_[i];
+    return r.handler_ns + r.deliver_ns + r.reduce_ns;
+  }
+
+  /// Drop every row and detach; capacity is retained.
+  void clear() noexcept;
+
+  /// Emit the timeline as JSON in the shape bench/aggregate_bench.py
+  /// ingests ({"bench": name, "records": [...]} plus "kind"/"k" context),
+  /// one record per superstep.
+  void write_json(std::FILE* out, const char* name) const;
+  /// Same, to a file; returns false when the file cannot be opened.
+  [[nodiscard]] bool write_json_file(const char* path, const char* name) const;
+
+ private:
+  [[nodiscard]] std::size_t top_n() const noexcept;
+
+  MetricsTimelineConfig config_;
+  const Cluster* cluster_ = nullptr;
+  MachineId k_ = 0;
+
+  // Previous snapshot of the monotone ledger fields (vectors assigned in
+  // place, so a warm snapshot does not allocate).
+  struct Snapshot {
+    std::uint64_t rounds = 0, supersteps = 0, messages = 0, local_messages = 0;
+    std::uint64_t total_bits = 0, cut_bits = 0;
+    std::uint64_t prev_alloc = 0;
+    std::vector<std::uint64_t> sent, received;
+  } prev_;
+
+  // Phase time / allocations of free supersteps, folded into the next row.
+  std::uint64_t carry_handler_ns_ = 0;
+  std::uint64_t carry_deliver_ns_ = 0;
+  std::uint64_t carry_reduce_ns_ = 0;
+
+  std::vector<Row> rows_;
+  std::vector<std::uint64_t> traffic_;    // full rows: 2k words each (sent, recv)
+  std::vector<TrafficTop> top_;           // summary rows: 2*top_n entries each
+  std::size_t full_rows_ = 0;             // rows stored at full resolution
+};
+
+}  // namespace kmm

@@ -1,0 +1,151 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace kmm {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* span_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kSuperstep: return "superstep";
+    case SpanKind::kInline: return "inline_step";
+    case SpanKind::kHandler: return "handler";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kReduce: return "reduce";
+  }
+  return "span";
+}
+
+const char* span_category(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kSuperstep:
+    case SpanKind::kInline: return "step";
+    case SpanKind::kHandler: return "handler";
+    case SpanKind::kDeliver:
+    case SpanKind::kReduce: return "delivery";
+  }
+  return "span";
+}
+
+const char* span_arg_key(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kHandler: return "machine";
+    case SpanKind::kDeliver: return "dst";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceRecorderConfig config)
+    : capacity_per_lane_(std::max<std::size_t>(config.events_per_lane, 1)),
+      epoch_ns_(steady_now_ns()),
+      lanes_(std::max(config.lanes, 1u)) {
+  for (Lane& lane : lanes_) {
+    lane.ring.reserve(capacity_per_lane_);
+  }
+}
+
+std::uint64_t TraceRecorder::now_ns() const noexcept {
+  return steady_now_ns() - epoch_ns_;
+}
+
+void TraceRecorder::record(unsigned lane_index, SpanKind kind, std::uint64_t superstep,
+                           std::uint32_t arg, std::uint64_t begin_ns,
+                           std::uint64_t end_ns) noexcept {
+  Lane& lane = lanes_[std::min<std::size_t>(lane_index, lanes_.size() - 1)];
+  const Span span{begin_ns, end_ns, superstep, arg, kind};
+  if (lane.ring.size() < capacity_per_lane_) {
+    lane.ring.push_back(span);  // within reserved capacity: no allocation
+    return;
+  }
+  lane.ring[lane.head] = span;  // ring full: overwrite the oldest span
+  lane.head = (lane.head + 1) % capacity_per_lane_;
+  ++lane.dropped;
+}
+
+std::size_t TraceRecorder::spans(SpanKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) {
+    for (const Span& s : lane.ring) {
+      if (s.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::total_spans() const noexcept {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.ring.size();
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.dropped;
+  return n;
+}
+
+void TraceRecorder::clear() noexcept {
+  for (Lane& lane : lanes_) {
+    lane.ring.clear();  // capacity retained
+    lane.head = 0;
+    lane.dropped = 0;
+  }
+}
+
+void TraceRecorder::write_chrome_json(std::FILE* out) const {
+  std::fprintf(out, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    if (lanes_[l].ring.empty()) continue;
+    std::fprintf(out,
+                 "%s  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                 "\"tid\": %zu, \"args\": {\"name\": \"%s\"}}",
+                 first ? "" : ",\n", l, l == 0 ? "driver" : "worker");
+    first = false;
+  }
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    for_each_span(lanes_[l], [&](const Span& s) {
+      // Chrome trace timestamps are microseconds; keep sub-µs spans visible
+      // by rounding duration up to 1 µs.
+      const std::uint64_t ts_us = s.begin_ns / 1000;
+      const std::uint64_t dur_us =
+          std::max<std::uint64_t>((s.end_ns - s.begin_ns) / 1000, 1);
+      std::fprintf(out,
+                   "%s  {\"name\": \"%s/%llu\", \"cat\": \"%s\", \"ph\": \"X\", "
+                   "\"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": %zu, "
+                   "\"args\": {\"superstep\": %llu",
+                   first ? "" : ",\n", span_name(s.kind),
+                   static_cast<unsigned long long>(s.superstep), span_category(s.kind),
+                   static_cast<unsigned long long>(ts_us),
+                   static_cast<unsigned long long>(dur_us), l,
+                   static_cast<unsigned long long>(s.superstep));
+      if (const char* key = span_arg_key(s.kind)) {
+        std::fprintf(out, ", \"%s\": %u", key, s.arg);
+      }
+      std::fprintf(out, "}}");
+      first = false;
+    });
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+bool TraceRecorder::write_chrome_json_file(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  write_chrome_json(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace kmm

@@ -9,11 +9,19 @@
 //   reduce  — folding the per-destination ledger partials into ClusterStats
 //             (zero on the sequential path, whose delivery accounts inline).
 //
+// This is the *compatibility shim* over the observability plane: the
+// Runtime measures each phase exactly once per step and feeds the same
+// three durations both here (process-lifetime aggregate, snapshot-and-
+// subtract) and to any attached obs::MetricsTimeline (per-superstep rows —
+// see src/obs/). Callers that only need run totals keep using
+// runtime_phase_totals(); callers that need to know *which* superstep was
+// slow attach a timeline through RuntimeConfig::obs.
+//
 // Global atomics rather than per-Runtime members because the interesting
 // callers (bench thread-scaling sections) sit above algorithm entry points
 // that construct their own Runtime internally — the same reason the
 // counting-allocator hook is a process counter. Snapshot before/after a
-// region and subtract, exactly like alloc_count().
+// region and subtract with operator- below.
 
 #include <atomic>
 #include <cstdint>
@@ -24,7 +32,31 @@ struct RuntimePhaseTotals {
   std::uint64_t handler_ns = 0;
   std::uint64_t deliver_ns = 0;
   std::uint64_t reduce_ns = 0;
+
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return handler_ns + deliver_ns + reduce_ns;
+  }
 };
+
+/// Saturating duration between two monotonic timestamps. The steady clock
+/// never runs backwards, but a caller mixing clocks (or subtracting
+/// snapshots in the wrong order) must produce 0, not a ~2^64 ns phantom
+/// phase — every add_phase_times() caller funnels through this.
+[[nodiscard]] inline std::uint64_t elapsed_ns(std::uint64_t begin_ns,
+                                              std::uint64_t end_ns) noexcept {
+  return end_ns >= begin_ns ? end_ns - begin_ns : 0;
+}
+
+/// Snapshot difference, saturating per field: `after - before` of two
+/// monotone counters reads 0 instead of wrapping when the operands are
+/// accidentally swapped. Replaces the hand-rolled three-field diffs that
+/// bench/ and tests used to carry.
+[[nodiscard]] inline RuntimePhaseTotals operator-(const RuntimePhaseTotals& after,
+                                                  const RuntimePhaseTotals& before) noexcept {
+  return RuntimePhaseTotals{elapsed_ns(before.handler_ns, after.handler_ns),
+                            elapsed_ns(before.deliver_ns, after.deliver_ns),
+                            elapsed_ns(before.reduce_ns, after.reduce_ns)};
+}
 
 namespace detail {
 inline std::atomic<std::uint64_t> g_phase_handler_ns{0};

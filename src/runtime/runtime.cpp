@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics_timeline.hpp"
+#include "obs/trace_recorder.hpp"
 #include "runtime/phase_timers.hpp"
 #include "util/assert.hpp"
 
@@ -25,7 +27,13 @@ unsigned resolve_threads(unsigned requested, MachineId k) {
 }
 
 Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
-    : cluster_(&cluster), threads_(resolve_threads(config.threads, cluster.k())) {
+    : cluster_(&cluster),
+      threads_(resolve_threads(config.threads, cluster.k())),
+      sink_(config.obs != nullptr ? *config.obs : ObsSink{}) {
+  // Baseline the timeline before the first step so row 0's delta starts at
+  // this Runtime's construction (idempotent across sequential Runtimes
+  // reusing one sink on one cluster).
+  if (sink_.timeline != nullptr) sink_.timeline->attach(*cluster_);
   if (threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(threads_);
     shards_.resize(cluster_->k());
@@ -35,33 +43,64 @@ Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
 
 Runtime::~Runtime() = default;
 
+std::uint64_t Runtime::finish_step(StepMode mode, std::uint64_t handler_ns,
+                                   std::uint64_t deliver_ns, std::uint64_t reduce_ns,
+                                   std::uint64_t span_begin_ns, std::uint64_t rounds) {
+  add_phase_times(handler_ns, deliver_ns, reduce_ns);
+  if (sink_.timeline != nullptr) {
+    sink_.timeline->on_superstep(*cluster_, handler_ns, deliver_ns, reduce_ns);
+  }
+  if (sink_.trace != nullptr) {
+    // The step's top-level span, on the driving thread's lane.
+    sink_.trace->record(0,
+                        mode == StepMode::kInline ? SpanKind::kInline : SpanKind::kSuperstep,
+                        step_ordinal_, 0, span_begin_ns, sink_.trace->now_ns());
+  }
+  ++step_ordinal_;
+  return rounds;
+}
+
 std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
   const MachineId k = cluster_->k();
+  TraceRecorder* const tr = sink_.trace;
+  // Span timestamps must sit on the recorder's rebased clock; phase
+  // durations are differences, so either clock serves them.
+  const auto tick = [tr]() noexcept { return tr != nullptr ? tr->now_ns() : now_ns(); };
+  const std::uint64_t t0 = tick();
   if (pool_ == nullptr || mode == StepMode::kInline) {
     // Sequential path: handlers write directly into the cluster outbox in
     // machine order — the legacy "for each machine, compute and send" loop.
-    const std::uint64_t t0 = now_ns();
     for (MachineId i = 0; i < k; ++i) {
+      const std::uint64_t hb = tr != nullptr ? tr->now_ns() : 0;
       Outbox out(*cluster_, i);
       program.on_superstep(i, cluster_->inbox(i), out);
+      if (tr != nullptr) {
+        tr->record(ThreadPool::current_lane(), SpanKind::kHandler, step_ordinal_, i, hb,
+                   tr->now_ns());
+      }
     }
-    const std::uint64_t t1 = now_ns();
+    const std::uint64_t t1 = tick();
     const std::uint64_t rounds = cluster_->superstep();
-    add_phase_times(t1 - t0, now_ns() - t1, 0);
-    return rounds;
+    const std::uint64_t t2 = tick();
+    if (tr != nullptr) tr->record(0, SpanKind::kDeliver, step_ordinal_, 0, t1, t2);
+    return finish_step(mode, elapsed_ns(t0, t1), elapsed_ns(t1, t2), 0, t0, rounds);
   }
   // Parallel path: every handler owns shard i; inboxes are read-only until
   // the barrier, after which the k per-destination delivery tasks move the
   // buckets straight into their inboxes — one move per message, no staging
   // outbox — and the finish call reduces the ledger partials.
-  const std::uint64_t t0 = now_ns();
   pool_->parallel_for(k, [&](std::size_t i) {
     const auto self = static_cast<MachineId>(i);
+    const std::uint64_t hb = tr != nullptr ? tr->now_ns() : 0;
     shards_[i].clear();  // buckets and arena capacity retained from last step
     Outbox out(shards_[i], self, k);
     program.on_superstep(self, cluster_->inbox(self), out);
+    if (tr != nullptr) {
+      tr->record(ThreadPool::current_lane(), SpanKind::kHandler, step_ordinal_, self, hb,
+                 tr->now_ns());
+    }
   });
-  const std::uint64_t t1 = now_ns();
+  const std::uint64_t t1 = tick();
   if (cluster_->has_staged()) {
     // Rare fallback: direct Cluster::send() calls were staged between
     // steps. Merge the shards behind them in (source, destination) order —
@@ -73,17 +112,25 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
       }
     }
     const std::uint64_t rounds = cluster_->superstep();
-    add_phase_times(t1 - t0, now_ns() - t1, 0);
-    return rounds;
+    const std::uint64_t t2 = tick();
+    if (tr != nullptr) tr->record(0, SpanKind::kDeliver, step_ordinal_, 0, t1, t2);
+    return finish_step(mode, elapsed_ns(t0, t1), elapsed_ns(t1, t2), 0, t0, rounds);
   }
   cluster_->deliver_shards_begin(shards_);
   pool_->parallel_for(k, [&](std::size_t i) {
+    const std::uint64_t db = tr != nullptr ? tr->now_ns() : 0;
     cluster_->deliver_shard_to(static_cast<MachineId>(i));
+    if (tr != nullptr) {
+      tr->record(ThreadPool::current_lane(), SpanKind::kDeliver, step_ordinal_,
+                 static_cast<std::uint32_t>(i), db, tr->now_ns());
+    }
   });
-  const std::uint64_t t2 = now_ns();
+  const std::uint64_t t2 = tick();
   const std::uint64_t rounds = cluster_->deliver_shards_finish();
-  add_phase_times(t1 - t0, t2 - t1, now_ns() - t2);
-  return rounds;
+  const std::uint64_t t3 = tick();
+  if (tr != nullptr) tr->record(0, SpanKind::kReduce, step_ordinal_, 0, t2, t3);
+  return finish_step(mode, elapsed_ns(t0, t1), elapsed_ns(t1, t2), elapsed_ns(t2, t3), t0,
+                     rounds);
 }
 
 std::uint64_t Runtime::run(MachineProgram& program, std::uint64_t max_supersteps) {

@@ -71,6 +71,18 @@
 //      Message::payload() span across steps — both are recycled when the
 //      next delivery begins — and never poke another machine's inbox from
 //      a handler.
+//   7. To stay observable, route every superstep through Runtime::step and
+//      every delivery through the step's trailing superstep() — that is
+//      where the obs plane (src/obs/) hangs its hooks, so a port that obeys
+//      rules 1-6 gets per-superstep metrics rows and trace spans for free
+//      through config.obs with no code of its own. What a port must NOT
+//      do: call Cluster::superstep() directly between steps (the delivery
+//      escapes both the timeline row and the phase timers), busy-loop
+//      inside a handler waiting on cross-machine state (a handler span is
+//      assumed to be pure local compute), or hold a pointer to the obs
+//      sinks' output mid-run (rows and rings reallocate/wrap). Analytic
+//      Cluster::charge_rounds() between steps is fine — the timeline folds
+//      the charge into the next recorded row.
 //
 // Because the handler order in sequential mode and the shard-merge order in
 // parallel mode are both ascending machine order, a ported algorithm's sends
@@ -88,6 +100,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/obs_sink.hpp"
 #include "runtime/machine_program.hpp"
 #include "runtime/outbox.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +111,11 @@ struct RuntimeConfig {
   /// Worker threads for per-machine local computation. 1 = sequential,
   /// 0 = std::thread::hardware_concurrency(), clamped to the cluster's k.
   unsigned threads = 1;
+  /// Optional observability sinks (metrics timeline / span trace recorder);
+  /// null (the default) records nothing and costs one branch per step. The
+  /// sinks are borrowed — the caller keeps them alive for the Runtime's
+  /// lifetime. See src/obs/obs_sink.hpp for the contract.
+  const ObsSink* obs = nullptr;
 };
 
 /// The thread-count resolution every Runtime applies: 0 expands to
@@ -176,8 +194,16 @@ class Runtime {
   std::uint64_t run(MachineProgram& program, std::uint64_t max_supersteps = 1u << 20);
 
  private:
+  /// Feed one finished step's phase durations to every consumer: the
+  /// process-wide phase totals (always) and the attached sinks (when any).
+  std::uint64_t finish_step(StepMode mode, std::uint64_t handler_ns,
+                            std::uint64_t deliver_ns, std::uint64_t reduce_ns,
+                            std::uint64_t span_begin_ns, std::uint64_t rounds);
+
   Cluster* cluster_;
   unsigned threads_;
+  ObsSink sink_;                      // copied from config; empty = record nothing
+  std::uint64_t step_ordinal_ = 0;    // steps driven by this Runtime (incl. free)
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   std::vector<OutboxShard> shards_;   // per-source buffers + arenas, reused
 };

@@ -1,23 +1,42 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 
 namespace kmm {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Relaxed atomic: the level may be toggled while parallel handlers are
+// logging (TSan flags the plain-global version), and level checks need no
+// ordering with respect to anything else.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
 }
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void logf(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  // Format into a stack buffer and emit line + '\n' as ONE write: separate
+  // vfprintf/fputc calls interleave when handlers on several workers log
+  // concurrently. Overlong lines are truncated (with a marker) rather than
+  // split.
+  char buf[1024];
   std::va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  int len = std::vsnprintf(buf, sizeof(buf) - 1, fmt, args);
   va_end(args);
+  if (len < 0) return;
+  if (static_cast<std::size_t>(len) >= sizeof(buf) - 1) {
+    len = static_cast<int>(sizeof(buf) - 1);
+    std::memcpy(buf + len - 4, "...", 3);  // truncation marker before '\n'
+  }
+  buf[len] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(len) + 1, stderr);
 }
 
 }  // namespace kmm

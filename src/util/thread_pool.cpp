@@ -4,11 +4,18 @@
 
 namespace kmm {
 
+namespace {
+// Lane of the executing thread: 0 until a pool worker stamps its own id.
+thread_local unsigned t_lane = 0;
+}  // namespace
+
+unsigned ThreadPool::current_lane() noexcept { return t_lane; }
+
 ThreadPool::ThreadPool(unsigned total_threads) {
   KMM_CHECK_MSG(total_threads >= 1, "a pool needs at least the calling thread");
   workers_.reserve(total_threads - 1);
   for (unsigned i = 0; i + 1 < total_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
   }
 }
 
@@ -21,7 +28,8 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned lane) {
+  t_lane = lane;
   std::uint64_t seen = 0;
   for (;;) {
     std::uint64_t generation;

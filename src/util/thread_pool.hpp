@@ -58,6 +58,13 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
+  /// Stable small id of the executing thread: 0 for any thread that is not
+  /// a pool worker (in particular the caller driving parallel_for), w + 1
+  /// for pool worker w. Thread-local, so tasks can index write-private
+  /// per-lane state (the trace recorder's ring buffers) without touching
+  /// the pool's mutex. A thread keeps its lane for the pool's lifetime.
+  [[nodiscard]] static unsigned current_lane() noexcept;
+
   /// Run fn(0), ..., fn(count - 1) across the pool; blocks until every
   /// invocation finished. Not reentrant: fn must not call parallel_for on
   /// the same pool. The callable is borrowed by reference for the duration
@@ -73,7 +80,7 @@ class ThreadPool {
 
  private:
   void parallel_for_impl(std::size_t count, void (*invoke)(void*, std::size_t), void* ctx);
-  void worker_loop();
+  void worker_loop(unsigned lane);
   void run_tasks(std::uint64_t generation);
 
   std::vector<std::thread> workers_;

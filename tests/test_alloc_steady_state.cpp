@@ -160,6 +160,66 @@ int main() {
     }
   }
 
+  // Observability-plane steady state. Three claims, measured on the same
+  // warmed runtime loop (a charged all-to-successor ring superstep):
+  //   1. sinks disabled: the obs seam adds ZERO allocations per superstep
+  //      on top of the allocation-free message plane;
+  //   2. sinks attached (summarized timeline, pre-reserved; warm trace
+  //      rings): recording is also allocation-free per superstep;
+  //   3. with the alloc-count source registered, the timeline's own allocs
+  //      column agrees — every steady-state row records 0.
+  {
+    obs::set_alloc_count_source(&kmmbench::alloc_count);
+    constexpr MachineId kMachines = 8;
+    constexpr int kSteps = 64;
+    const auto ring_step = [](Runtime& rt) {
+      rt.step([](MachineId self, std::span<const Message>, Outbox& out) {
+        out.send((self + 1) % kMachines, 1, {std::uint64_t{self}}, 64);
+      });
+    };
+
+    for (const unsigned threads : {1u, 4u}) {
+      // Sinks disabled.
+      {
+        Cluster cluster(ClusterConfig{kMachines, 64});
+        Runtime rt(cluster, RuntimeConfig{threads});
+        for (int i = 0; i < 4; ++i) ring_step(rt);  // warm pool + arenas
+        const auto b0 = alloc_count();
+        for (int i = 0; i < kSteps; ++i) ring_step(rt);
+        char what[96];
+        std::snprintf(what, sizeof what,
+                      "sinks-off runtime allocations (threads=%u)", threads);
+        EXPECT_ZERO(alloc_count() - b0, what);
+      }
+
+      // Sinks attached.
+      {
+        Cluster cluster(ClusterConfig{kMachines, 64});
+        MetricsTimelineConfig tcfg;
+        tcfg.full_traffic_steps = 0;  // summarized rows: O(top_traffic) each
+        MetricsTimeline timeline(tcfg);
+        timeline.reserve(1024, kMachines);
+        TraceRecorder trace;  // rings pre-reserved at construction
+        const ObsSink sink{&timeline, &trace};
+        Runtime rt(cluster, RuntimeConfig{threads, &sink});
+        for (int i = 0; i < 4; ++i) ring_step(rt);
+        const std::size_t warm_rows = timeline.size();
+        const auto b0 = alloc_count();
+        for (int i = 0; i < kSteps; ++i) ring_step(rt);
+        char what[96];
+        std::snprintf(what, sizeof what,
+                      "sinks-on runtime allocations (threads=%u)", threads);
+        EXPECT_ZERO(alloc_count() - b0, what);
+        for (std::size_t i = warm_rows; i < timeline.size(); ++i) {
+          EXPECT_ZERO(timeline.row(i).allocs, "timeline row alloc column");
+        }
+      }
+    }
+    obs::set_alloc_count_source(nullptr);
+    std::printf("obs plane: steady-state supersteps allocation-free with sinks "
+                "off and on\n");
+  }
+
   if (failures == 0) std::printf("PASS\n");
   return failures == 0 ? 0 : 1;
 }
