@@ -7,9 +7,11 @@ into a single BENCH_trajectory.json keyed by bench name, so CI can upload
 one artifact per commit and the perf dashboard can diff trajectories across
 commits without scraping per-bench files. Each trajectory entry is
 {"hardware_concurrency": ..., "records": [...]} — the core count (and the
-per-record handler_ms / deliver_ms / reduce_ms phase columns, carried
-verbatim inside records) is what lets the dashboard tell a 1-core runner's
-expected ~1x speedups apart from real regressions.
+per-record handler_ms / deliver_ms / reduce_ms phase columns and the
+peak_heap_bytes memory column, carried verbatim inside records) is what
+lets the dashboard tell a 1-core runner's expected ~1x speedups apart from
+real regressions, and track the ingest plane's memory footprint (see
+bench_ingest: streamed vs materialized build) across commits.
 
 Usage:
     python3 bench/aggregate_bench.py [--dir BUILD_DIR] [--out OUT.json]

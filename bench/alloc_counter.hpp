@@ -4,12 +4,14 @@
 // Replaces the global operator new/delete with malloc/free wrappers that
 // bump an atomic counter, so benches can report allocations per superstep
 // and the scaling JSON can distinguish "faster because parallel" from
-// "faster because fewer mallocs". Replacement operators must be defined in
-// exactly one translation unit per program and must not be inline
-// ([replacement.functions]); every bench is a single-TU binary and pulls
-// this in through bench_common.hpp, so that holds by construction. The
-// library itself never includes this header — test and example binaries
-// keep the default allocator.
+// "faster because fewer mallocs". The wrappers also track live and peak
+// heap bytes (malloc_usable_size on glibc), which is how bench_ingest
+// measures the streamed-vs-materialized peak-memory gap without an OS RSS
+// probe. Replacement operators must be defined in exactly one translation
+// unit per program and must not be inline ([replacement.functions]); every
+// bench is a single-TU binary and pulls this in through bench_common.hpp,
+// so that holds by construction. The library itself never includes this
+// header — test and example binaries keep the default allocator.
 
 #include <atomic>
 #include <cstddef>
@@ -17,16 +19,61 @@
 #include <cstdlib>
 #include <new>
 
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_usable_size
+#endif
+
 namespace kmmbench {
 
 namespace detail {
 inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_heap_bytes{0};       // live heap bytes
+inline std::atomic<std::uint64_t> g_peak_heap_bytes{0};  // high-water mark
+
+inline std::uint64_t usable_size(void* p) noexcept {
+#if defined(__GLIBC__)
+  return static_cast<std::uint64_t>(malloc_usable_size(p));
+#else
+  (void)p;
+  return 0;  // byte columns degrade to 0; alloc counts still work
+#endif
 }
+
+inline void note_alloc(void* p) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t sz = usable_size(p);
+  const std::uint64_t live = g_heap_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::uint64_t peak = g_peak_heap_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_heap_bytes.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void note_free(void* p) noexcept {
+  if (p != nullptr) g_heap_bytes.fetch_sub(usable_size(p), std::memory_order_relaxed);
+}
+}  // namespace detail
 
 /// Number of operator-new calls since program start (monotonic; sample
 /// before/after a region and subtract).
 inline std::uint64_t alloc_count() noexcept {
   return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Live heap bytes right now (usable sizes, so slightly above requested).
+inline std::uint64_t heap_bytes() noexcept {
+  return detail::g_heap_bytes.load(std::memory_order_relaxed);
+}
+
+/// High-water mark of heap_bytes() since start or the last reset.
+inline std::uint64_t peak_heap_bytes() noexcept {
+  return detail::g_peak_heap_bytes.load(std::memory_order_relaxed);
+}
+
+/// Restart the high-water mark at the current live size, so a region's peak
+/// can be measured as reset_peak_heap(); work(); peak_heap_bytes().
+inline void reset_peak_heap() noexcept {
+  detail::g_peak_heap_bytes.store(heap_bytes(), std::memory_order_relaxed);
 }
 
 }  // namespace kmmbench
@@ -40,18 +87,22 @@ inline std::uint64_t alloc_count() noexcept {
 #endif
 
 void* operator new(std::size_t size) {
-  kmmbench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  if (void* p = std::malloc(size != 0 ? size : 1)) {
+    kmmbench::detail::note_alloc(p);
+    return p;
+  }
   throw std::bad_alloc{};
 }
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
 void* operator new(std::size_t size, std::align_val_t align) {
-  kmmbench::detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   const auto al = static_cast<std::size_t>(align);
   const std::size_t rounded = (size + al - 1) / al * al;
-  if (void* p = std::aligned_alloc(al, rounded != 0 ? rounded : al)) return p;
+  if (void* p = std::aligned_alloc(al, rounded != 0 ? rounded : al)) {
+    kmmbench::detail::note_alloc(p);
+    return p;
+  }
   throw std::bad_alloc{};
 }
 
@@ -59,14 +110,14 @@ void* operator new[](std::size_t size, std::align_val_t align) {
   return ::operator new(size, align);
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete[](void* p) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { kmmbench::detail::note_free(p); std::free(p); }
 
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop

@@ -55,7 +55,8 @@ struct PhaseMs {
 struct TimedResult {
   BoruvkaResult result;
   double wall_ms = 0.0;
-  std::uint64_t allocs = 0;  // operator-new calls during the run
+  std::uint64_t allocs = 0;           // operator-new calls during the run
+  std::uint64_t peak_heap_bytes = 0;  // heap high-water mark during the run
   PhaseMs phase;
 };
 
@@ -67,7 +68,8 @@ struct TimedStats {
   RunStats stats;
   std::size_t phases = 0;
   double wall_ms = 0.0;
-  std::uint64_t allocs = 0;  // operator-new calls during the run
+  std::uint64_t allocs = 0;           // operator-new calls during the run
+  std::uint64_t peak_heap_bytes = 0;  // heap high-water mark during the run
   PhaseMs phase;
 };
 
@@ -86,13 +88,15 @@ double allocs_per_superstep(const Timed& timed, std::uint64_t supersteps) {
 template <typename Fn, typename PhasesOf>
 TimedStats time_stats(const Fn& fn, const PhasesOf& phases_of) {
   const auto a0 = alloc_count();
+  reset_peak_heap();
   const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = fn();
   const auto t1 = std::chrono::steady_clock::now();
   return TimedStats{result.stats, phases_of(result),
                     std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                    alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
+                    alloc_count() - a0, peak_heap_bytes(),
+                    PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 /// Same, for algorithms with no phase notion (phases = 0).
@@ -170,25 +174,29 @@ inline BoruvkaResult run_mst(const Graph& g, MachineId k, std::uint64_t seed,
 inline TimedResult run_connectivity_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                           unsigned threads = 1) {
   const auto a0 = alloc_count();
+  reset_peak_heap();
   const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_connectivity(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
                      std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                     alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
+                     alloc_count() - a0, peak_heap_bytes(),
+                     PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 inline TimedResult run_mst_timed(const Graph& g, MachineId k, std::uint64_t seed,
                                  unsigned threads = 1) {
   const auto a0 = alloc_count();
+  reset_peak_heap();
   const auto p0 = runtime_phase_totals();
   const auto t0 = std::chrono::steady_clock::now();
   auto result = run_mst(g, k, seed, threads);
   const auto t1 = std::chrono::steady_clock::now();
   return TimedResult{std::move(result),
                      std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                     alloc_count() - a0, PhaseMs::between(p0, runtime_phase_totals())};
+                     alloc_count() - a0, peak_heap_bytes(),
+                     PhaseMs::between(p0, runtime_phase_totals())};
 }
 
 /// Machine-readable perf trajectory: every record() appends a JSON object;
@@ -207,11 +215,13 @@ class BenchJson {
   /// algorithm has no phase notion). Thread-scaling sections pass the
   /// per-phase wall split (handler/deliver/reduce, from PhaseMs) so the
   /// trajectory separates "faster because parallel handlers" from "faster
-  /// because parallel delivery"; pass phase_ms = nullptr to omit.
+  /// because parallel delivery"; pass phase_ms = nullptr to omit. A nonzero
+  /// peak_heap_bytes (the run's heap high-water mark from alloc_counter)
+  /// adds the memory-footprint column; 0 omits it.
   void record(const char* family, std::size_t n, std::size_t m, MachineId k,
               unsigned threads, const RunStats& stats, std::size_t phases,
               double wall_ms, double allocs_per_superstep = -1.0,
-              const PhaseMs* phase_ms = nullptr) {
+              const PhaseMs* phase_ms = nullptr, std::uint64_t peak_heap_bytes = 0) {
     char buf[640];
     int len = std::snprintf(buf, sizeof(buf),
                             "    {\"family\": \"%s\", \"n\": %zu, \"m\": %zu, \"k\": %u, "
@@ -237,6 +247,12 @@ class BenchJson {
                            ", \"handler_ms\": %.3f, \"deliver_ms\": %.3f, "
                            "\"reduce_ms\": %.3f",
                            phase_ms->handler_ms, phase_ms->deliver_ms, phase_ms->reduce_ms);
+      len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
+    }
+    if (peak_heap_bytes != 0) {
+      len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len),
+                           ", \"peak_heap_bytes\": %llu",
+                           static_cast<unsigned long long>(peak_heap_bytes));
       len = std::min(len, static_cast<int>(sizeof(buf)) - 1);
     }
     std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "}");
@@ -290,8 +306,8 @@ inline Graph weighted_unique(Graph g, std::uint64_t seed, Weight limit = 1'000'0
 inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::size_t m,
                                      MachineId k, BenchJson& json,
                                      const std::function<TimedStats(unsigned)>& runner) {
-  std::printf("%8s %10s %9s %9s %14s %11s %11s %10s\n", "threads", "rounds", "wall_ms",
-              "speedup", "allocs/sstep", "handler_ms", "deliver_ms", "reduce_ms");
+  std::printf("%8s %10s %9s %9s %14s %11s %11s %10s %9s\n", "threads", "rounds", "wall_ms",
+              "speedup", "allocs/sstep", "handler_ms", "deliver_ms", "reduce_ms", "peak_MB");
   double base_ms = 0.0;
   std::uint64_t base_rounds = 0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -301,16 +317,17 @@ inline bool run_thread_scaling_stats(const char* family, std::size_t n, std::siz
       base_rounds = timed.stats.rounds;
     }
     const double aps = allocs_per_superstep(timed, timed.stats.supersteps);
-    std::printf("%8u %10llu %9.1f %8.2fx %14.1f %11.1f %11.1f %10.1f\n", threads,
+    std::printf("%8u %10llu %9.1f %8.2fx %14.1f %11.1f %11.1f %10.1f %9.1f\n", threads,
                 static_cast<unsigned long long>(timed.stats.rounds), timed.wall_ms,
                 base_ms / timed.wall_ms, aps, timed.phase.handler_ms, timed.phase.deliver_ms,
-                timed.phase.reduce_ms);
+                timed.phase.reduce_ms,
+                static_cast<double>(timed.peak_heap_bytes) / (1024.0 * 1024.0));
     if (timed.stats.rounds != base_rounds) {
       std::printf("  LEDGER MISMATCH at threads=%u — runtime invariant violated\n", threads);
       return false;
     }
     json.record(family, n, m, k, threads, timed.stats, timed.phases, timed.wall_ms, aps,
-                &timed.phase);
+                &timed.phase, timed.peak_heap_bytes);
   }
   return true;
 }
@@ -322,7 +339,7 @@ inline bool run_thread_scaling(const char* family, std::size_t n, std::size_t m,
       family, n, m, k, json, [&](unsigned threads) {
         const auto timed = runner(threads);
         return TimedStats{timed.result.stats, timed.result.phases.size(), timed.wall_ms,
-                          timed.allocs, timed.phase};
+                          timed.allocs, timed.peak_heap_bytes, timed.phase};
       });
 }
 

@@ -1,0 +1,122 @@
+// Ingest-plane comparison: materialize the global graph and then shard it
+// (the classic input pipeline) vs stream the generator chunks shard-direct
+// (stream_ingest — the global edge list and Graph are never built).
+//
+// The claim this bench pins: the streamed build's peak heap is a large
+// constant factor (>= 2x at n = 10^7) below the materialized build's,
+// because the materialized path must hold the full edge list + global CSR +
+// per-machine shards at once while the streamed path holds only a per-vertex
+// counter array and the shards themselves. That factor is what opens the
+// n >= 10^8 tier on one box (see ISSUE/ROADMAP: the k-machine model's whole
+// premise is that no single machine can hold the graph).
+//
+// Columns: build wall ms, generated edges/s, and the build's peak heap
+// delta (alloc_counter high-water minus the live bytes at build start).
+// The pre-change pipeline's numbers are frozen in
+// bench/baselines/BENCH_ingest.pre-stream.json.
+
+#include <cstring>
+
+#include "bench_common.hpp"
+
+using namespace kmmbench;
+
+namespace {
+
+struct BuildMeasurement {
+  double wall_ms = 0.0;
+  std::uint64_t peak_bytes = 0;  // heap high-water delta during the build
+  std::size_t edges = 0;         // undirected edges in the built shards
+};
+
+template <typename Fn>
+BuildMeasurement measure_build(const Fn& fn) {
+  BuildMeasurement out;
+  const std::uint64_t live0 = heap_bytes();
+  reset_peak_heap();
+  const auto t0 = std::chrono::steady_clock::now();
+  out.edges = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.peak_bytes = peak_heap_bytes() - live0;
+  return out;
+}
+
+void report(BenchJson& json, const char* family, const char* mode, std::size_t n,
+            std::size_t m, MachineId k, const BuildMeasurement& b) {
+  const double edges_per_s = b.wall_ms > 0.0
+                                 ? static_cast<double>(b.edges) / (b.wall_ms * 1e-3)
+                                 : 0.0;
+  std::printf("%6s %-12s n=%-9zu edges=%-9zu %10.1f ms %12.0f edges/s %10.1f MB peak\n",
+              family, mode, n, b.edges, b.wall_ms, edges_per_s,
+              static_cast<double>(b.peak_bytes) / (1024.0 * 1024.0));
+  char rec[256];
+  std::snprintf(rec, sizeof(rec),
+                "{\"family\": \"%s\", \"mode\": \"%s\", \"n\": %zu, \"m\": %zu, "
+                "\"edges\": %zu, \"k\": %u, \"build_ms\": %.3f, "
+                "\"edges_per_s\": %.0f, \"peak_heap_bytes\": %llu}",
+                family, mode, n, m, b.edges, k, b.wall_ms, edges_per_s,
+                static_cast<unsigned long long>(b.peak_bytes));
+  json.record_raw(rec);
+}
+
+/// One streamed-vs-materialized pair; returns peak ratio (materialized /
+/// streamed, 0 when degenerate).
+double compare(BenchJson& json, const char* family, std::size_t n, MachineId k) {
+  const std::size_t m = 3 * n;
+  gen::ParGenConfig cfg;
+  cfg.seed = 4242;
+  cfg.threads = 1;
+  const bool rmat = std::strcmp(family, "rmat") == 0;
+  const VertexPartition part = VertexPartition::random(n, k, split(cfg.seed, 0x9a97));
+
+  const auto materialized = measure_build([&] {
+    const Graph g = rmat ? gen::rmat_par(n, m, cfg) : gen::gnm_par(n, m, cfg);
+    const DistributedGraph dg(g, part);
+    return dg.num_edges();
+  });
+  report(json, family, "materialized", n, m, k, materialized);
+
+  const auto streamed = measure_build([&] {
+    StreamIngestOptions iopts;
+    iopts.threads = cfg.threads;
+    const DistributedGraph dg =
+        stream_ingest(n, part,
+                      rmat ? gen::rmat_stream_source(n, m, cfg)
+                           : gen::gnm_stream_source(n, m, cfg),
+                      iopts);
+    return dg.num_edges();
+  });
+  report(json, family, "streamed", n, m, k, streamed);
+
+  if (streamed.peak_bytes == 0) return 0.0;
+  const double ratio = static_cast<double>(materialized.peak_bytes) /
+                       static_cast<double>(streamed.peak_bytes);
+  std::printf("       -> peak memory ratio materialized/streamed: %.2fx\n\n", ratio);
+  return ratio;
+}
+
+}  // namespace
+
+int main() {
+  banner("ingest: shard-direct streaming vs materialize-then-shard",
+         "the k-machine model assumes no machine holds the whole graph; "
+         "streamed ingest keeps the simulator honest about it (>= 2x lower "
+         "peak heap at n = 10^7)");
+
+  BenchJson json("ingest");
+  const MachineId k = 32;
+
+  compare(json, "gnm", 1'000'000, k);
+  compare(json, "rmat", 1'000'000, k);
+  const double big_ratio = compare(json, "gnm", 10'000'000, k);
+
+  if (big_ratio < 2.0) {
+    std::printf("FAIL: streamed ingest peak not >= 2x below materialized at n=10^7 "
+                "(got %.2fx)\n", big_ratio);
+    return 1;
+  }
+  std::printf("streamed ingest peak is %.2fx below materialized at n=10^7 (>= 2x: ok)\n",
+              big_ratio);
+  return 0;
+}

@@ -8,6 +8,7 @@
 // kmachine_cli has a richer flag set and keeps its own parser, but reuses
 // ObsScope below.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +17,55 @@
 #include "kmm.hpp"
 
 namespace kmmex {
+
+// ---- argument validation (shared by kmachine_cli and scenario examples) ----
+//
+// strtoull-style parsing silently turns garbage into 0 and a leading minus
+// into a huge wraparound value; every machine/thread/budget count in the
+// examples goes through these helpers instead so the failure is a clean
+// one-line error, not a confusing run with k=0.
+
+/// Parse a non-negative base-10 integer or exit(2) with a clean error.
+inline std::uint64_t require_u64(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (text[0] == '\0' || text[0] == '-' || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Same, but zero is also rejected (for counts where 0 has no meaning).
+inline std::uint64_t require_positive_u64(const char* flag, const char* text) {
+  const std::uint64_t value = require_u64(flag, text);
+  if (value == 0) {
+    std::fprintf(stderr, "error: %s must be positive, got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// k-machine sanity: the model needs 2 <= k, and k <= n so every machine
+/// can host at least one vertex. Exits(2) with a clean error otherwise.
+inline void require_machines(std::uint64_t k, std::uint64_t n, const char* flag) {
+  if (k < 2) {
+    std::fprintf(stderr, "error: %s: the k-machine model needs at least 2 machines, got %llu\n",
+                 flag, static_cast<unsigned long long>(k));
+    std::exit(2);
+  }
+  if (k > n) {
+    std::fprintf(stderr,
+                 "error: %s: more machines (%llu) than vertices (%llu) — every machine "
+                 "must host at least one vertex\n",
+                 flag, static_cast<unsigned long long>(k),
+                 static_cast<unsigned long long>(n));
+    std::exit(2);
+  }
+}
 
 struct ExampleArgs {
   unsigned threads = 1;

@@ -8,7 +8,7 @@
 //   kmachine_cli --algo conn --input edges.txt --k 16
 //
 // Algorithms: conn | mst | flood | referee | mincut | 2ec | bipartite | leader
-// Graphs:     gnm | connected | path | cycle | star | complete | grid |
+// Graphs:     gnm | rmat | connected | path | cycle | star | complete | grid |
 //             communities | pa | dumbbell | cliquechain
 //             or --input FILE with one "u v [w]" edge per line ('#' comments)
 // Common flags: --n --m --k --seed --bandwidth --coordinator --coinflip
@@ -16,7 +16,16 @@
 //               --verify (compare against the sequential reference)
 //               --metrics-out FILE (per-superstep metrics timeline JSON)
 //               --trace-out FILE (Chrome trace JSON for chrome://tracing)
+//               --stream-ingest (build per-machine shards straight from the
+//                 chunked generator stream — gnm/rmat only; the global edge
+//                 list and Graph are never materialized, so --verify and the
+//                 global-recourse algorithms are unavailable)
+//               --mem-budget BYTES (per-machine shard byte cap for
+//                 --stream-ingest; ingest hard-fails with a diagnostic when
+//                 any machine would exceed it)
 // Every value flag accepts both `--key value` and `--key=value`.
+// --k/--threads/--mem-budget are validated (non-numeric, zero, and k > n or
+// k < 2 are rejected with a clean error).
 
 #include <algorithm>
 #include <cstdio>
@@ -45,10 +54,12 @@ struct Options {
   std::size_t blocks = 8;
   MachineId k = 8;
   std::uint64_t seed = 1;
-  std::uint64_t bandwidth = 0;  // 0 => ceil(log2 n)^2
-  unsigned threads = 1;         // runtime worker threads; 0 => hardware
-  std::string metrics_out;      // per-superstep timeline JSON ("" = off)
-  std::string trace_out;        // Chrome trace-event JSON ("" = off)
+  std::uint64_t bandwidth = 0;   // 0 => ceil(log2 n)^2
+  unsigned threads = 1;          // runtime worker threads; 0 => hardware
+  std::uint64_t mem_budget = 0;  // per-machine shard byte cap; 0 = unlimited
+  std::string metrics_out;       // per-superstep timeline JSON ("" = off)
+  std::string trace_out;         // Chrome trace-event JSON ("" = off)
+  bool stream_ingest = false;    // shard-direct ingest, no global graph
   bool coordinator = false;
   bool coinflip = false;
   bool verify = true;
@@ -57,11 +68,12 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --algo conn|mst|flood|referee|mincut|2ec|bipartite|leader\n"
-               "          --graph gnm|connected|path|cycle|star|complete|grid|"
+               "          --graph gnm|rmat|connected|path|cycle|star|complete|grid|"
                "communities|pa|dumbbell|cliquechain\n"
                "          [--n N] [--m M] [--rows R --cols C] [--lambda L]\n"
                "          [--blocks B] [--k K] [--seed S] [--bandwidth BITS]\n"
                "          [--threads T] [--coordinator] [--coinflip] [--no-verify]\n"
+               "          [--stream-ingest] [--mem-budget BYTES]\n"
                "          [--metrics-out FILE] [--trace-out FILE]\n",
                argv0);
   std::exit(2);
@@ -78,6 +90,8 @@ Options parse(int argc, char** argv) {
       opt.coinflip = true;
     } else if (arg == "--no-verify") {
       opt.verify = false;
+    } else if (arg == "--stream-ingest") {
+      opt.stream_ingest = true;
     } else if (arg.rfind("--", 0) == 0 && arg.find('=') != std::string::npos) {
       const std::size_t eq = arg.find('=');
       kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
@@ -87,23 +101,37 @@ Options parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+  // Strict numeric parsing: a typo'd value exits with a clean one-line
+  // error instead of strtoull's silent 0 (which would mean k=0 machines or
+  // all hardware threads).
   const auto get_u64 = [&](const char* key, std::uint64_t dflt) {
     const auto it = kv.find(key);
-    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == kv.end()) return dflt;
+    char flag[64];
+    std::snprintf(flag, sizeof flag, "--%s", key);
+    return kmmex::require_u64(flag, it->second.c_str());
+  };
+  const auto get_positive_u64 = [&](const char* key, std::uint64_t dflt) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return dflt;
+    char flag[64];
+    std::snprintf(flag, sizeof flag, "--%s", key);
+    return kmmex::require_positive_u64(flag, it->second.c_str());
   };
   if (kv.count("algo")) opt.algo = kv["algo"];
   if (kv.count("graph")) opt.graph = kv["graph"];
   if (kv.count("input")) opt.input = kv["input"];
-  opt.n = get_u64("n", opt.n);
+  opt.n = get_positive_u64("n", opt.n);
   opt.m = get_u64("m", 0);
-  opt.rows = get_u64("rows", opt.rows);
-  opt.cols = get_u64("cols", opt.cols);
+  opt.rows = get_positive_u64("rows", opt.rows);
+  opt.cols = get_positive_u64("cols", opt.cols);
   opt.lambda = get_u64("lambda", opt.lambda);
-  opt.blocks = get_u64("blocks", opt.blocks);
-  opt.k = static_cast<MachineId>(get_u64("k", opt.k));
+  opt.blocks = get_positive_u64("blocks", opt.blocks);
+  opt.k = static_cast<MachineId>(get_positive_u64("k", opt.k));
   opt.seed = get_u64("seed", opt.seed);
   opt.bandwidth = get_u64("bandwidth", 0);
   opt.threads = static_cast<unsigned>(get_u64("threads", opt.threads));
+  opt.mem_budget = get_positive_u64("mem-budget", 0);
   if (kv.count("metrics-out")) opt.metrics_out = kv["metrics-out"];
   if (kv.count("trace-out")) opt.trace_out = kv["trace-out"];
   return opt;
@@ -140,6 +168,7 @@ Graph make_graph(const Options& opt) {
   Rng rng(split(opt.seed, 0x9a4f));
   const std::size_t m = opt.m != 0 ? opt.m : 3 * opt.n;
   if (opt.graph == "gnm") return gen::gnm(opt.n, m, rng);
+  if (opt.graph == "rmat") return gen::rmat(opt.n, m, rng);
   if (opt.graph == "connected") return gen::connected_gnm(opt.n, m, rng);
   if (opt.graph == "path") return gen::path(opt.n);
   if (opt.graph == "cycle") return gen::cycle(opt.n);
@@ -163,12 +192,121 @@ void print_stats(const char* what, const RunStats& stats) {
               static_cast<unsigned long long>(stats.bits));
 }
 
+/// The --stream-ingest path: per-machine shards are built straight from the
+/// chunked generator stream; no global edge list or Graph ever exists, so
+/// only the model-faithful algorithms (no global-recourse verifiers) run
+/// and --verify is structurally unavailable.
+int run_stream(const Options& opt) {
+  const std::size_t n = opt.n;
+  const std::size_t m = opt.m != 0 ? opt.m : 3 * opt.n;
+  kmmex::require_machines(opt.k, n, "--k");
+  if (opt.graph != "gnm" && opt.graph != "rmat") {
+    std::fprintf(stderr,
+                 "error: --stream-ingest supports --graph gnm|rmat (the chunked "
+                 "streaming generators), got '%s'\n",
+                 opt.graph.c_str());
+    return 2;
+  }
+  const bool streamable_algo = opt.algo == "conn" || opt.algo == "mst" ||
+                               opt.algo == "flood" || opt.algo == "referee";
+  if (!streamable_algo) {
+    std::fprintf(stderr,
+                 "error: --stream-ingest supports --algo conn|mst|flood|referee; "
+                 "'%s' needs the global graph (drop --stream-ingest)\n",
+                 opt.algo.c_str());
+    return 2;
+  }
+
+  gen::ParGenConfig gcfg;
+  gcfg.seed = split(opt.seed, 0x9a4f);
+  gcfg.threads = opt.threads;
+  // MST needs weighted edges; the PRF weight stream keys off the canonical
+  // edge index, so streamed weights are chunk- and thread-invariant.
+  if (opt.algo == "mst") gcfg.weight_limit = 1u << 30;
+  const gen::EdgeStream stream = opt.graph == "gnm"
+                                     ? gen::gnm_stream_source(n, m, gcfg)
+                                     : gen::rmat_stream_source(n, m, gcfg);
+
+  StreamIngestOptions iopts;
+  iopts.budget.bytes_per_machine = opt.mem_budget;
+  iopts.threads = opt.threads;
+  const DistributedGraph dg = stream_ingest(
+      n, VertexPartition::random(n, opt.k, split(opt.seed, 0x9a97)), stream, iopts);
+  std::printf("graph=%s n=%zu m=%zu (stream-ingest) | k=%u seed=%llu\n",
+              opt.graph.c_str(), n, dg.num_edges(), opt.k,
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("max shard bytes=%zu budget=%llu/machine\n", dg.max_shard_bytes(),
+              static_cast<unsigned long long>(opt.mem_budget));
+
+  ClusterConfig ccfg = ClusterConfig::for_graph(n, opt.k);
+  if (opt.bandwidth != 0) ccfg.bandwidth_bits = opt.bandwidth;
+  Cluster cluster(ccfg);
+  std::printf("bandwidth=%llu bits/link/round\n",
+              static_cast<unsigned long long>(cluster.bandwidth_bits()));
+
+  kmmex::ObsScope obs(opt.metrics_out.empty() ? nullptr : opt.metrics_out.c_str(),
+                      opt.trace_out.empty() ? nullptr : opt.trace_out.c_str(),
+                      opt.algo.c_str());
+
+  BoruvkaConfig acfg;
+  acfg.seed = split(opt.seed, 0xa190);
+  acfg.single_coordinator = opt.coordinator;
+  acfg.merge_rule = opt.coinflip ? MergeRule::kCoinFlip : MergeRule::kDrr;
+  acfg.threads = opt.threads;
+  acfg.obs = obs.sink();
+
+  if (opt.algo == "conn") {
+    const auto res = connected_components(cluster, dg, acfg);
+    std::printf("components=%llu phases=%zu converged=%s\n",
+                static_cast<unsigned long long>(res.num_components), res.phases.size(),
+                res.converged ? "yes" : "no");
+    print_stats("conn", res.stats);
+  } else if (opt.algo == "mst") {
+    const auto res = minimum_spanning_forest(cluster, dg, acfg);
+    Weight total = 0;
+    for (const auto& e : res.mst_edges()) total += e.w;
+    std::printf("mst_edges=%zu total_weight=%llu phases=%zu\n", res.mst_edges().size(),
+                static_cast<unsigned long long>(total), res.phases.size());
+    print_stats("mst", res.stats);
+  } else if (opt.algo == "flood") {
+    FloodingConfig fcfg;
+    fcfg.threads = opt.threads;
+    fcfg.obs = obs.sink();
+    const auto res = flooding_connectivity(cluster, dg, fcfg);
+    std::printf("components=%llu supersteps=%llu\n",
+                static_cast<unsigned long long>(res.num_components),
+                static_cast<unsigned long long>(res.supersteps));
+    print_stats("flood", res.stats);
+  } else {  // referee
+    RefereeConfig rcfg;
+    rcfg.threads = opt.threads;
+    rcfg.obs = obs.sink();
+    const auto res = referee_connectivity(cluster, dg, rcfg);
+    std::printf("components=%llu\n", static_cast<unsigned long long>(res.num_components));
+    print_stats("referee", res.stats);
+  }
+  if (opt.verify) {
+    std::printf("verify: skipped (--stream-ingest never materializes the global graph)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.stream_ingest) {
+    if (!opt.input.empty()) {
+      std::fprintf(stderr,
+                   "error: --stream-ingest generates the graph shard-direct; "
+                   "--input is incompatible\n");
+      return 2;
+    }
+    return run_stream(opt);
+  }
   Graph g = make_graph(opt);
   const std::size_t n = g.num_vertices();
+  kmmex::require_machines(opt.k, n, "--k");
   std::printf("graph=%s n=%zu m=%zu | k=%u seed=%llu\n", opt.graph.c_str(), n,
               g.num_edges(), opt.k, static_cast<unsigned long long>(opt.seed));
 

@@ -1,0 +1,71 @@
+// Scenario: crawling a web-scale graph straight into the cluster.
+//
+// A power-law web graph (R-MAT) is too big to hold as one edge list on any
+// single machine — which is exactly the regime the k-machine model assumes.
+// This scenario builds the per-machine shards shard-direct from the chunked
+// R-MAT stream (stream_ingest: the global Graph is never materialized),
+// sweeps k, and reports the per-machine memory footprint next to the round
+// complexity, showing both resources shrink as machines are added.
+//
+//   ./web_graph_stream [n] [budget_bytes_per_machine] [--threads T]
+//                      [--metrics-out FILE] [--trace-out FILE]
+//
+// A non-zero budget arms the ingest-time memory cap: the run aborts with a
+// diagnostic if any machine's shard would exceed it (try a small budget with
+// a small k to see the failure mode). The obs flags record the run at the
+// largest k of the sweep.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "example_args.hpp"
+#include "kmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kmm;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const unsigned threads = args.threads;
+  const std::size_t n = args.pos_u64(0, 1u << 18);
+  const std::size_t budget = args.pos_u64(1, 0);
+  const std::size_t m = 4 * n;
+
+  gen::ParGenConfig gcfg;
+  gcfg.seed = 20160711;
+  gcfg.threads = threads;
+  std::printf("web graph: R-MAT, n=%zu, up to %zu links, streamed shard-direct\n", n, m);
+  if (budget != 0) std::printf("per-machine shard budget: %zu bytes\n", budget);
+
+  kmmex::ObsScope obs(args, "web_graph_stream");
+  const MachineId k_sweep[] = {4, 8, 16, 32};
+  const MachineId observed_k = k_sweep[std::size(k_sweep) - 1];
+  std::printf("\n%6s %10s %16s %14s %16s\n", "k", "components", "rounds", "bits",
+              "max shard bytes");
+  for (const MachineId k : k_sweep) {
+    kmmex::require_machines(k, n, "k (sweep)");
+    // The stream source is re-runnable, but partition and shard layout are
+    // per-k: ingest rebuilds the shards from the same deterministic stream.
+    StreamIngestOptions iopts;
+    iopts.budget.bytes_per_machine = budget;
+    iopts.threads = threads;
+    const DistributedGraph dg =
+        stream_ingest(n, VertexPartition::random(n, k, 99),
+                      gen::rmat_stream_source(n, m, gcfg), iopts);
+
+    Cluster cluster(ClusterConfig::for_graph(n, k));
+    BoruvkaConfig config;
+    config.seed = 555;
+    config.threads = threads;
+    if (k == observed_k) config.obs = obs.sink();
+    const auto res = connected_components(cluster, dg, config);
+    std::printf("%6u %10llu %16llu %14llu %16zu\n", k,
+                static_cast<unsigned long long>(res.num_components),
+                static_cast<unsigned long long>(res.stats.rounds),
+                static_cast<unsigned long long>(res.stats.bits), dg.max_shard_bytes());
+  }
+  std::printf(
+      "\nThe shard bytes column is the whole per-machine memory story: no\n"
+      "global edge list, no global CSR, just each machine's slice — so the\n"
+      "footprint divides by k while the sketch algorithm's rounds also fall.\n"
+      "bench_ingest measures the streamed-vs-materialized peak-memory gap.\n");
+  return 0;
+}

@@ -22,12 +22,11 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   inboxes_.resize(config_.k);
   stats_.sent_bits_by_machine.assign(config_.k, 0);
   stats_.received_bits_by_machine.assign(config_.k, 0);
-  link_bits_.assign(static_cast<std::size_t>(config_.k) * config_.k, 0);
+  // link_bits_ (dense k*k, sequential path only) is allocated lazily on the
+  // first deliver_pending(); the direct plane's partials are sparse rows.
   inbox_counts_.assign(config_.k, 0);
   inbox_arenas_.resize(config_.k);
-  delivery_link_bits_.assign(static_cast<std::size_t>(config_.k) * config_.k, 0);
-  delivery_messages_.assign(config_.k, 0);
-  delivery_local_.assign(config_.k, 0);
+  delivery_partials_.resize(config_.k);
 }
 
 void Cluster::send(MachineId src, MachineId dst, std::uint32_t tag,
@@ -92,20 +91,22 @@ void Cluster::deliver_shard_to(MachineId dst) {
   auto& inbox = inboxes_[dst];
   inbox.clear();               // capacity retained
   inbox_arenas_[dst].reset();  // previous generation's spilled payloads are dead
+  auto& partial = delivery_partials_[dst];
+  partial.link_bits.clear();  // capacity retained
+  partial.cross = 0;
+  partial.local = 0;
   std::size_t count = 0;
   for (const auto& shard : delivery_shards_) count += shard.buckets[dst].size();
-  delivery_messages_[dst] = 0;
-  delivery_local_[dst] = 0;
   if (count == 0) return;
   inbox.reserve(count);  // exact: a warm inbox never reallocates mid-delivery
   std::uint64_t cross = 0;
   std::uint64_t local = 0;
-  // Row dst of the dst-major partial table: cache lines private to this
-  // task, written for every cross-machine message — the hot cells of the
-  // parallel phase.
-  std::uint64_t* links = delivery_link_bits_.data() + static_cast<std::size_t>(dst) * k;
   for (MachineId src = 0; src < k; ++src) {
     auto& bucket = delivery_shards_[src].buckets[dst];
+    // One sparse row entry per source that actually sent: buckets are
+    // walked in ascending src order, so the row is ascending-src sorted by
+    // construction — the invariant the finish tree-fold's merges rely on.
+    std::uint64_t src_bits = 0;
     for (auto& msg : bucket) {
       KMM_DCHECK(msg.src == src && msg.dst == dst);
       // Re-home spilled payloads into this inbox's arena: payload lifetime
@@ -116,51 +117,94 @@ void Cluster::deliver_shard_to(MachineId dst) {
         ++local;
       } else {
         ++cross;
-        links[src] += msg.wire_bits();
+        src_bits += msg.wire_bits();
       }
       inbox.push_back(msg);
     }
     bucket.clear();
+    if (src_bits > 0) partial.link_bits.emplace_back(src, src_bits);
   }
-  delivery_messages_[dst] = cross;
-  delivery_local_[dst] = local;
+  partial.cross = cross;
+  partial.local = local;
+}
+
+void Cluster::fold_merge(LedgerFold& into, LedgerFold& from) {
+  into.total += from.total;
+  into.max_link = std::max(into.max_link, from.max_link);
+  into.cut += from.cut;
+  into.cross += from.cross;
+  into.local += from.local;
+  // Merge the ascending per-source sent lists, summing equal sources.
+  fold_merge_tmp_.clear();
+  std::size_t a = 0, b = 0;
+  while (a < into.sent.size() && b < from.sent.size()) {
+    if (into.sent[a].first < from.sent[b].first) {
+      fold_merge_tmp_.push_back(into.sent[a++]);
+    } else if (from.sent[b].first < into.sent[a].first) {
+      fold_merge_tmp_.push_back(from.sent[b++]);
+    } else {
+      fold_merge_tmp_.emplace_back(into.sent[a].first,
+                                   into.sent[a].second + from.sent[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < into.sent.size(); ++a) fold_merge_tmp_.push_back(into.sent[a]);
+  for (; b < from.sent.size(); ++b) fold_merge_tmp_.push_back(from.sent[b]);
+  into.sent.swap(fold_merge_tmp_);
+  from.sent.clear();
 }
 
 std::uint64_t Cluster::deliver_shards_finish() {
   const MachineId k = config_.k;
   delivery_shards_ = {};
-  std::uint64_t cross = 0;
-  std::uint64_t local = 0;
+  std::uint64_t moved = 0;
   for (MachineId d = 0; d < k; ++d) {
-    cross += delivery_messages_[d];
-    local += delivery_local_[d];
+    moved += delivery_partials_[d].cross + delivery_partials_[d].local;
   }
-  if (cross + local == 0) return 0;  // nothing moved: a free superstep
-  // Deterministic ledger reduction in ascending (src, dst) link order. The
-  // link table carries every bit-valued partial, so the per-machine and
-  // cut aggregates fall out of one ordered scan; all quantities are
-  // unsigned sums or maxima of the same per-link values the sequential
-  // pass accumulates message-by-message, hence bit-identical. The scan is
-  // O(k^2) where deliver_pending walks a touched-link list — fine for the
-  // k <= 64 this repo simulates (the measured reduce phase is noise); if
-  // large-k configs appear, give each delivery task a touched-source list
-  // (every quantity is commutative, so fold order is free to change).
-  std::uint64_t max_load = 0;
-  for (MachineId src = 0; src < k; ++src) {
-    for (MachineId dst = 0; dst < k; ++dst) {
-      const std::uint64_t link = static_cast<std::uint64_t>(dst) * k + src;  // dst-major
-      const std::uint64_t bits = delivery_link_bits_[link];
-      if (bits == 0) continue;
-      delivery_link_bits_[link] = 0;  // restore the all-zero invariant
-      if (!cut_side_.empty() && cut_side_[src] != cut_side_[dst]) stats_.cut_bits += bits;
-      stats_.total_bits += bits;
-      stats_.sent_bits_by_machine[src] += bits;
-      stats_.received_bits_by_machine[dst] += bits;
-      max_load = std::max(max_load, bits);
+  if (moved == 0) return 0;  // nothing moved: a free superstep
+  // Hierarchical ledger reduction: leaf d summarizes destination d's sparse
+  // row (its per-source sent list is already ascending), then the k leaves
+  // are folded pairwise into one root. Every folded quantity is an unsigned
+  // sum or maximum of exactly the per-link values the sequential pass
+  // accumulates message-by-message, so the tree order — like any fold order
+  // — reproduces the sequential ledger bit-for-bit. Footprint is
+  // O(touched links) for any k; the dense k*k table exists only on the
+  // sequential path.
+  fold_nodes_.resize(k);  // inner capacity retained across supersteps
+  for (MachineId d = 0; d < k; ++d) {
+    auto& leaf = fold_nodes_[d];
+    auto& partial = delivery_partials_[d];
+    leaf.total = 0;
+    leaf.max_link = 0;
+    leaf.cut = 0;
+    leaf.cross = partial.cross;
+    leaf.local = partial.local;
+    leaf.sent.clear();
+    for (const auto& [src, bits] : partial.link_bits) {
+      leaf.total += bits;
+      leaf.max_link = std::max(leaf.max_link, bits);
+      if (!cut_side_.empty() && cut_side_[src] != cut_side_[d]) leaf.cut += bits;
+      leaf.sent.emplace_back(src, bits);
+    }
+    stats_.received_bits_by_machine[d] += leaf.total;
+    partial.link_bits.clear();
+    partial.cross = 0;
+    partial.local = 0;
+  }
+  for (std::size_t step = 1; step < k; step *= 2) {
+    for (std::size_t i = 0; i + step < k; i += 2 * step) {
+      fold_merge(fold_nodes_[i], fold_nodes_[i + step]);
     }
   }
-  stats_.messages += cross;
-  stats_.local_messages += local;
+  LedgerFold& root = fold_nodes_[0];
+  stats_.total_bits += root.total;
+  stats_.cut_bits += root.cut;
+  for (const auto& [src, bits] : root.sent) stats_.sent_bits_by_machine[src] += bits;
+  root.sent.clear();
+  stats_.messages += root.cross;
+  stats_.local_messages += root.local;
+  const std::uint64_t max_load = root.max_link;
   const std::uint64_t rounds =
       max_load == 0 ? 0 : (max_load + config_.bandwidth_bits - 1) / config_.bandwidth_bits;
   stats_.rounds += rounds;
@@ -173,6 +217,12 @@ std::uint64_t Cluster::deliver_shards_finish() {
 
 std::uint64_t Cluster::deliver_pending() {
   const MachineId k = config_.k;
+  // First sequential delivery on this cluster: allocate the dense link
+  // table now. Runtime-driven workloads that always use the direct plane
+  // never reach this line, so they never hold k*k ledger state.
+  if (link_bits_.empty()) {
+    link_bits_.assign(static_cast<std::size_t>(k) * k, 0);
+  }
 
   // Count-then-bucket: size every inbox exactly before routing, so inbox
   // growth never reallocates mid-delivery and a warm cluster delivers an

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cluster/message.hpp"
@@ -134,15 +135,16 @@ class Cluster {
   ///                                  touches only destination-d state and
   ///                                  the k*k link table's column d);
   ///   deliver_shards_finish()        caller thread, after all per-
-  ///                                  destination tasks completed; reduces
-  ///                                  the ledger partials in ascending
-  ///                                  (src, dst) link order and returns the
+  ///                                  destination tasks completed; tree-
+  ///                                  folds the per-destination ledger
+  ///                                  partials pairwise and returns the
   ///                                  rounds charged.
   /// Observationally identical — inbox contents, inbox order, and the full
   /// ClusterStats ledger bit-for-bit — to enqueue_batch() per shard in
   /// ascending source order followed by superstep(): every reduced quantity
   /// is an unsigned sum or maximum of exactly the per-link values the
-  /// sequential pass accumulates message-by-message.
+  /// sequential pass accumulates message-by-message, so the hierarchical
+  /// fold order cannot change any ledger bit.
   void deliver_shards_begin(std::span<OutboxShard> shards);
   void deliver_shard_to(MachineId dst);
   std::uint64_t deliver_shards_finish();
@@ -187,9 +189,12 @@ class Cluster {
   PayloadArena pending_arena_;
   PayloadArena live_arena_;
 
-  // Flat k*k per-directed-link load table plus first-touch list; entries
-  // are zeroed again after every delivery, so the steady state allocates
-  // nothing and max-load scanning is deterministic (first-touch order).
+  // Flat k*k per-directed-link load table plus first-touch list, used only
+  // by the sequential deliver_pending() path and allocated LAZILY on its
+  // first use — runtime-driven workloads that always take the direct plane
+  // never pay the dense table. Entries are zeroed again after every
+  // delivery, so the steady state allocates nothing and max-load scanning
+  // is deterministic (first-touch order).
   std::vector<std::uint64_t> link_bits_;
   std::vector<std::uint64_t> touched_links_;
   std::vector<std::uint32_t> inbox_counts_;  // per-destination count scratch
@@ -197,19 +202,40 @@ class Cluster {
   // Direct delivery plane state. Each inbox owns an arena for the spilled
   // payloads delivered to it: destination d's task re-homes shard-arena
   // payloads into inbox_arenas_[d], so payload lifetime equals inbox
-  // lifetime and the shards are reusable the moment delivery ends. The
-  // link partials live in a dst-MAJOR k*k table (row d = cells d*k + src)
-  // rather than sharing the src-major link_bits_: concurrent delivery
-  // tasks then write disjoint contiguous rows instead of interleaved
-  // columns, so no two tasks ever touch the same cache line (the finish
-  // reduction still folds in ascending (src, dst) order — it just strides
-  // the transposed table). The per-destination message counts are the only
-  // partials the link table doesn't carry.
-  std::span<OutboxShard> delivery_shards_;         // valid between begin/finish
-  std::vector<PayloadArena> inbox_arenas_;         // one per destination
-  std::vector<std::uint64_t> delivery_link_bits_;  // dst-major k*k partials
-  std::vector<std::uint64_t> delivery_messages_;   // per-destination cross count
-  std::vector<std::uint64_t> delivery_local_;      // per-destination local count
+  // lifetime and the shards are reusable the moment delivery ends.
+  //
+  // Ledger partials are SPARSE per-destination rows rather than a dense
+  // dst-major k*k table: destination d's task appends one (src, bits) pair
+  // per source that actually sent to it (ascending src, since that is the
+  // bucket walk order) plus its scalar message counts. Tasks write disjoint
+  // rows, so the parallel phase stays contention-free, and the footprint is
+  // O(touched links), not O(k^2) — the flat table is no longer the ceiling
+  // at large k. finish() reduces the k rows by a pairwise TREE-FOLD
+  // (fold_nodes_ holds the current level; merges combine scalar aggregates
+  // and merge the ascending per-source sent lists): every folded quantity
+  // is a commutative unsigned sum or maximum, so the tree order reproduces
+  // the sequential ledger bit-for-bit. All buffers retain capacity — a warm
+  // cluster finishes a superstep without allocating.
+  struct DeliveryPartial {
+    std::vector<std::pair<MachineId, std::uint64_t>> link_bits;  // ascending src
+    std::uint64_t cross = 0;  // cross-machine messages into this destination
+    std::uint64_t local = 0;  // self-addressed messages
+  };
+  struct LedgerFold {
+    std::uint64_t total = 0;     // wire bits in this subtree
+    std::uint64_t max_link = 0;  // most-loaded link in this subtree
+    std::uint64_t cut = 0;       // bits crossing the tracked cut
+    std::uint64_t cross = 0;
+    std::uint64_t local = 0;
+    std::vector<std::pair<MachineId, std::uint64_t>> sent;  // per-source bits, ascending
+  };
+  void fold_merge(LedgerFold& into, LedgerFold& from);
+
+  std::span<OutboxShard> delivery_shards_;       // valid between begin/finish
+  std::vector<PayloadArena> inbox_arenas_;       // one per destination
+  std::vector<DeliveryPartial> delivery_partials_;  // one sparse row per destination
+  std::vector<LedgerFold> fold_nodes_;           // tree-fold working set (k leaves)
+  std::vector<std::pair<MachineId, std::uint64_t>> fold_merge_tmp_;
 };
 
 }  // namespace kmm

@@ -17,7 +17,21 @@ DistributedGraph::DistributedGraph(const Graph& graph, VertexPartition partition
     : graph_(&graph), partition_(std::move(partition)) {
   KMM_CHECK_MSG(partition_.num_vertices() == graph.num_vertices(),
                 "partition size must match the graph");
-  const std::size_t n = graph.num_vertices();
+  build_hosted(graph.num_vertices(), pool);
+}
+
+DistributedGraph::DistributedGraph(ShardedAdjacency sharded, VertexPartition partition,
+                                   ThreadPool* pool)
+    : sharded_(std::move(sharded)), partition_(std::move(partition)) {
+  KMM_CHECK_MSG(partition_.num_vertices() == sharded_.n,
+                "partition size must match the sharded adjacency");
+  KMM_CHECK_MSG(sharded_.shards.size() == partition_.machines(),
+                "one shard per machine required");
+  KMM_CHECK(sharded_.vstart.size() == sharded_.n && sharded_.vdeg.size() == sharded_.n);
+  build_hosted(sharded_.n, pool);
+}
+
+void DistributedGraph::build_hosted(std::size_t n, ThreadPool* pool) {
   const MachineId k = partition_.machines();
   hosted_offsets_.assign(static_cast<std::size_t>(k) + 1, 0);
   hosted_.resize(n);
@@ -74,6 +88,12 @@ std::size_t DistributedGraph::max_machine_load() const {
   for (std::size_t i = 0; i + 1 < hosted_offsets_.size(); ++i) {
     best = std::max(best, hosted_offsets_[i + 1] - hosted_offsets_[i]);
   }
+  return best;
+}
+
+std::size_t DistributedGraph::max_shard_bytes() const {
+  std::size_t best = 0;
+  for (const auto& shard : sharded_.shards) best = std::max(best, shard.bytes());
   return best;
 }
 

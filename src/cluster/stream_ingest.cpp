@@ -1,0 +1,172 @@
+#include "cluster/stream_ingest.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kmm {
+
+namespace {
+
+unsigned resolve_ingest_threads(unsigned requested) {
+  return requested != 0 ? requested : std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Projected resident bytes of machine i's shard state: its adjacency slots
+/// plus the vstart/vdeg index entries of its hosted vertices — the per-
+/// machine state the budget caps.
+std::size_t projected_machine_bytes(std::uint64_t slots, std::size_t hosted,
+                                    bool weighted) {
+  const std::size_t per_slot = sizeof(Vertex) + (weighted ? sizeof(Weight) : 0);
+  const std::size_t per_vertex = sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  return static_cast<std::size_t>(slots) * per_slot + hosted * per_vertex;
+}
+
+}  // namespace
+
+DistributedGraph stream_ingest(std::size_t n, VertexPartition partition,
+                               const gen::EdgeStream& stream,
+                               const StreamIngestOptions& opts) {
+  KMM_CHECK_MSG(partition.num_vertices() == n, "stream_ingest: partition size must match n");
+  const MachineId k = partition.machines();
+
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr) pool = &owned.emplace(resolve_ingest_threads(opts.threads));
+
+  // COUNT: replay the stream, tallying candidate degrees. cnt doubles as the
+  // fill pass's per-vertex slot cursor afterwards, so the whole pipeline
+  // carries one 4-byte atomic per vertex of transient state.
+  std::vector<std::atomic<std::uint32_t>> cnt(n);
+  std::atomic<bool> any_weighted{false};
+  stream([&](std::size_t, std::span<const WeightedEdge> edges) {
+    bool saw_weight = false;
+    for (const auto& e : edges) {
+      KMM_CHECK_MSG(e.u < n && e.v < n && e.u != e.v,
+                    "stream_ingest: streamed edge out of range or self-loop");
+      cnt[e.u].fetch_add(1, std::memory_order_relaxed);
+      cnt[e.v].fetch_add(1, std::memory_order_relaxed);
+      saw_weight |= e.w != 1;
+    }
+    if (saw_weight) any_weighted.store(true, std::memory_order_relaxed);
+  });
+  const bool weighted = any_weighted.load(std::memory_order_relaxed);
+
+  // LAYOUT: per-machine slot layout over ascending vertex ids — the same
+  // ascending hosted order the finalize pass walks, so a vertex's slots sit
+  // after every lower-id hosted sibling's.
+  ShardedAdjacency sharded;
+  sharded.n = n;
+  sharded.vstart.resize(n);
+  sharded.vdeg.assign(n, 0);
+  std::vector<std::uint64_t> machine_slots(k, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const MachineId mi = partition.home(static_cast<Vertex>(v));
+    sharded.vstart[v] = machine_slots[mi];
+    machine_slots[mi] += cnt[v].load(std::memory_order_relaxed);
+  }
+
+  // Budget check BEFORE allocating any shard: fail with a diagnostic naming
+  // the overflowing machine instead of OOM-ing the host.
+  if (opts.budget.bytes_per_machine != 0) {
+    std::vector<std::size_t> loads;
+    partition.loads(loads);
+    for (MachineId i = 0; i < k; ++i) {
+      const std::size_t need = projected_machine_bytes(machine_slots[i], loads[i], weighted);
+      if (need > opts.budget.bytes_per_machine) {
+        char msg[256];
+        std::snprintf(msg, sizeof msg,
+                      "stream_ingest: machine %u needs %zu bytes but the per-machine "
+                      "memory budget is %zu bytes (n=%zu, k=%u) — raise --mem-budget or "
+                      "add machines",
+                      i, need, opts.budget.bytes_per_machine, n, k);
+        KMM_CHECK_MSG(false, msg);
+      }
+    }
+  }
+
+  sharded.shards.resize(k);
+  for (MachineId i = 0; i < k; ++i) {
+    sharded.shards[i].to.resize(machine_slots[i]);
+    if (weighted) sharded.shards[i].weight.resize(machine_slots[i]);
+  }
+
+  // FILL: replay the stream, claiming slots with per-vertex atomic cursors.
+  // Slot order within a vertex is thread-dependent; FINALIZE's sort erases it.
+  for (auto& c : cnt) c.store(0, std::memory_order_relaxed);
+  const auto place = [&](Vertex src, Vertex dst, Weight w) {
+    MachineShard& shard = sharded.shards[partition.home(src)];
+    const std::uint64_t slot =
+        sharded.vstart[src] + cnt[src].fetch_add(1, std::memory_order_relaxed);
+    shard.to[slot] = dst;
+    if (weighted) shard.weight[slot] = w;
+  };
+  stream([&](std::size_t, std::span<const WeightedEdge> edges) {
+    for (const auto& e : edges) {
+      place(e.u, e.v, e.w);
+      place(e.v, e.u, e.w);
+    }
+  });
+
+  // FINALIZE: per vertex, sort slots ascending by neighbor id, drop
+  // adjacent duplicate candidates, compact the shard in place (the write
+  // cursor never passes the read cursor: dedup only shrinks). One machine
+  // per task; every vertex belongs to exactly one machine, so the passes
+  // are race-free and the result is canonical for any schedule.
+  std::vector<std::uint64_t> final_slots(k, 0);
+  std::vector<std::vector<Vertex>> hosted_scratch(pool->size());
+  std::vector<std::vector<HalfEdge>> edge_scratch(pool->size());
+  pool->parallel_for(k, [&](std::size_t mi) {
+    const unsigned lane = ThreadPool::current_lane();
+    auto& hosted = hosted_scratch[lane];
+    auto& tmp = edge_scratch[lane];
+    partition.hosted_by(static_cast<MachineId>(mi), hosted);
+    MachineShard& shard = sharded.shards[mi];
+    std::uint64_t wc = 0;
+    for (const Vertex v : hosted) {
+      const std::uint64_t rs = sharded.vstart[v];
+      const std::uint32_t rc = cnt[v].load(std::memory_order_relaxed);
+      tmp.resize(rc);
+      for (std::uint32_t j = 0; j < rc; ++j) {
+        tmp[j] = HalfEdge{shard.to[rs + j], weighted ? shard.weight[rs + j] : Weight{1}};
+      }
+      std::sort(tmp.begin(), tmp.end(),
+                [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+      sharded.vstart[v] = wc;
+      std::uint32_t deg = 0;
+      for (std::uint32_t j = 0; j < rc; ++j) {
+        if (j > 0 && tmp[j].to == tmp[j - 1].to) {
+          // Stream contract rule 5: duplicate candidates carry identical
+          // weights, so dropping either is the same edge set.
+          KMM_DCHECK(tmp[j].weight == tmp[j - 1].weight);
+          continue;
+        }
+        shard.to[wc] = tmp[j].to;
+        if (weighted) shard.weight[wc] = tmp[j].weight;
+        ++wc;
+        ++deg;
+      }
+      sharded.vdeg[v] = deg;
+    }
+    shard.to.resize(wc);
+    shard.to.shrink_to_fit();
+    if (weighted) {
+      shard.weight.resize(wc);
+      shard.weight.shrink_to_fit();
+    }
+    final_slots[mi] = wc;
+  });
+  for (MachineId i = 0; i < k; ++i) sharded.num_half_edges += final_slots[i];
+  KMM_CHECK_MSG(sharded.num_half_edges % 2 == 0,
+                "stream_ingest: half-edge count must be even");
+
+  return DistributedGraph(std::move(sharded), std::move(partition), pool);
+}
+
+}  // namespace kmm

@@ -23,7 +23,10 @@ BoruvkaResult minimum_spanning_forest(Cluster& cluster, const DistributedGraph& 
     trivial.mst_by_machine.resize(cluster.k());
     return trivial;
   }
-  if (require_unique_weights) {
+  // The global uniqueness scan needs the whole graph; shard-direct builds
+  // never have one, so there the caller vouches for distinct weights (the
+  // streaming generators draw them from a per-edge-index PRF).
+  if (require_unique_weights && dg.materialized()) {
     KMM_CHECK_MSG(dg.graph().has_unique_weights(),
                   "MST exactness requires distinct edge weights "
                   "(see with_unique_weights)");

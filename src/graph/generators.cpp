@@ -383,9 +383,20 @@ std::pair<Vertex, Vertex> decode_pair_index(std::uint64_t idx, std::uint64_t n) 
   return {static_cast<Vertex>(u), static_cast<Vertex>(v)};
 }
 
-}  // namespace
+// The gnm stratum plan — the single source of truth shared by gnm_par and
+// gnm_stream, so the materialized and streamed paths emit bit-identical
+// chunks. Chunk c owns pair indices [range_lo[c], range_lo[c+1]) and
+// samples quota[c] of them. Quotas split m proportionally with a forward
+// carry for the (near-complete-density) case where a stratum is smaller
+// than its proportional share; the plan is a pure function of (n, m,
+// chunks), so it never depends on the thread count.
+struct GnmPlan {
+  std::size_t chunks = 0;
+  std::vector<std::uint64_t> range_lo;  // chunks + 1 fenceposts
+  std::vector<std::uint64_t> quota;     // per-chunk sample counts, sum == m
+};
 
-Graph gnm_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, ThreadPool* pool) {
+GnmPlan gnm_plan(std::size_t n, std::size_t m, const ParGenConfig& cfg) {
   KMM_CHECK_MSG(n == 0 || n - 1 <= std::numeric_limits<Vertex>::max(),
                 "gnm_par: vertex ids must fit Vertex (32 bits)");
   const __uint128_t total128 =
@@ -394,83 +405,152 @@ Graph gnm_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, ThreadPool*
                 "gnm_par: pair index space exceeds 64 bits");
   const auto total = static_cast<std::uint64_t>(total128);
   KMM_CHECK_MSG(m <= total, "G(n,m): too many edges requested");
-  const std::size_t chunks = gen_chunks(m, cfg.edges_per_chunk);
 
-  // Plan the strata: chunk c owns pair indices [range_lo[c], range_lo[c+1])
-  // and samples quota[c] of them. Quotas split m proportionally with a
-  // forward carry for the (near-complete-density) case where a stratum is
-  // smaller than its proportional share; the plan is a pure function of
-  // (n, m, chunks), so it never depends on the thread count.
-  std::vector<std::uint64_t> range_lo(chunks + 1);
-  for (std::size_t c = 0; c <= chunks; ++c) {
-    range_lo[c] = static_cast<std::uint64_t>(static_cast<__uint128_t>(total) * c / chunks);
+  GnmPlan plan;
+  plan.chunks = gen_chunks(m, cfg.edges_per_chunk);
+  plan.range_lo.resize(plan.chunks + 1);
+  for (std::size_t c = 0; c <= plan.chunks; ++c) {
+    plan.range_lo[c] =
+        static_cast<std::uint64_t>(static_cast<__uint128_t>(total) * c / plan.chunks);
   }
-  std::vector<std::uint64_t> quota(chunks, 0);
+  plan.quota.assign(plan.chunks, 0);
   std::uint64_t carry = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
     const std::uint64_t share =
-        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * (c + 1) / chunks) -
-        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * c / chunks);
+        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * (c + 1) / plan.chunks) -
+        static_cast<std::uint64_t>(static_cast<__uint128_t>(m) * c / plan.chunks);
     const std::uint64_t want = share + carry;
-    quota[c] = std::min(want, range_lo[c + 1] - range_lo[c]);
-    carry = want - quota[c];
+    plan.quota[c] = std::min(want, plan.range_lo[c + 1] - plan.range_lo[c]);
+    carry = want - plan.quota[c];
   }
   KMM_CHECK_MSG(carry == 0, "gnm_par: density too close to complete — use gen::gnm");
+  return plan;
+}
 
-  std::vector<std::size_t> out_off(chunks + 1, 0);
-  for (std::size_t c = 0; c < chunks; ++c) out_off[c + 1] = out_off[c] + quota[c];
+/// Fill chunk c of the plan: exactly quota[c] edges in canonical ascending
+/// pair-index order, written to out[0..quota[c]). Deterministic in
+/// (n, cfg.seed, plan, c) alone.
+void gnm_fill_chunk(std::size_t n, const ParGenConfig& cfg, const GnmPlan& plan,
+                    std::size_t c, WeightedEdge* out) {
+  Rng rng(split3(cfg.seed, kGnmStreamTag, c));
+  const std::uint64_t lo = plan.range_lo[c];
+  const std::uint64_t range = plan.range_lo[c + 1] - lo;
+  const std::uint64_t need = plan.quota[c];
+  if (need == 0) return;
+  std::vector<std::uint64_t> picks;
+  picks.reserve(need);
+  if (range - need <= need) {
+    // Dense stratum: selection sampling (Knuth algorithm S) — exactly
+    // `need` picks, emitted in ascending order.
+    std::uint64_t remaining = range;
+    std::uint64_t want = need;
+    for (std::uint64_t i = 0; i < range && want > 0; ++i, --remaining) {
+      if (rng.next_below(remaining) < want) {
+        picks.push_back(lo + i);
+        --want;
+      }
+    }
+  } else {
+    // Sparse stratum: rejection to `need` distinct indices, then sort to
+    // the canonical ascending order.
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(2 * need);
+    while (picks.size() < need) {
+      const std::uint64_t idx = lo + rng.next_below(range);
+      if (seen.insert(idx).second) picks.push_back(idx);
+    }
+    std::sort(picks.begin(), picks.end());
+  }
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const auto [u, v] = decode_pair_index(picks[i], n);
+    out[i] = WeightedEdge{u, v, edge_weight(cfg, picks[i])};
+  }
+}
+
+/// Fill chunk ci of the rmat candidate stream: the quadrant descents and
+/// attempt cap of gen::rmat, scoped to the chunk's own PRNG stream. The
+/// output may contain duplicates (dedup is the consumer's job); every
+/// occurrence of an edge carries the identical canonical-index-keyed weight.
+void rmat_fill_chunk(std::size_t n, std::size_t m, const ParGenConfig& cfg, double a,
+                     double b, double c, std::uint64_t levels, std::size_t chunks,
+                     std::size_t ci, std::vector<WeightedEdge>& out) {
+  const std::size_t quota = m * (ci + 1) / chunks - m * ci / chunks;
+  Rng rng(split3(cfg.seed, kRmatStreamTag, ci));
+  out.clear();
+  out.reserve(quota);
+  // Same descent and same attempt cap per requested edge as gen::rmat.
+  const std::size_t max_attempts = 16 * quota + 64;
+  for (std::size_t attempt = 0; attempt < max_attempts && out.size() < quota; ++attempt) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint64_t level = 0; level < levels; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: both bits 0
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    // Weights key off the global edge id, so cross-chunk duplicates carry
+    // the same weight and the dedup winner is irrelevant.
+    out.push_back(WeightedEdge{static_cast<Vertex>(u), static_cast<Vertex>(v),
+                               edge_weight(cfg, edge_index(static_cast<Vertex>(u),
+                                                           static_cast<Vertex>(v), n))});
+  }
+}
+
+void rmat_check_params(std::size_t n, double a, double b, double c) {
+  KMM_CHECK(n >= 2);
+  KMM_CHECK_MSG(n - 1 <= std::numeric_limits<Vertex>::max(),
+                "rmat_par: vertex ids must fit Vertex (32 bits)");
+  KMM_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+                "rmat: quadrant probabilities must be positive and sum below 1");
+}
+
+}  // namespace
+
+Graph gnm_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, ThreadPool* pool) {
+  const GnmPlan plan = gnm_plan(n, m, cfg);
+  std::vector<std::size_t> out_off(plan.chunks + 1, 0);
+  for (std::size_t c = 0; c < plan.chunks; ++c) out_off[c + 1] = out_off[c] + plan.quota[c];
   std::vector<WeightedEdge> edges(m);
 
   std::optional<ThreadPool> owned;
   if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
-  pool->parallel_for(chunks, [&](std::size_t c) {
-    Rng rng(split3(cfg.seed, kGnmStreamTag, c));
-    const std::uint64_t lo = range_lo[c];
-    const std::uint64_t range = range_lo[c + 1] - lo;
-    const std::uint64_t need = quota[c];
-    if (need == 0) return;
-    std::vector<std::uint64_t> picks;
-    picks.reserve(need);
-    if (range - need <= need) {
-      // Dense stratum: selection sampling (Knuth algorithm S) — exactly
-      // `need` picks, emitted in ascending order.
-      std::uint64_t remaining = range;
-      std::uint64_t want = need;
-      for (std::uint64_t i = 0; i < range && want > 0; ++i, --remaining) {
-        if (rng.next_below(remaining) < want) {
-          picks.push_back(lo + i);
-          --want;
-        }
-      }
-    } else {
-      // Sparse stratum: rejection to `need` distinct indices, then sort to
-      // the canonical ascending order.
-      std::unordered_set<std::uint64_t> seen;
-      seen.reserve(2 * need);
-      while (picks.size() < need) {
-        const std::uint64_t idx = lo + rng.next_below(range);
-        if (seen.insert(idx).second) picks.push_back(idx);
-      }
-      std::sort(picks.begin(), picks.end());
-    }
-    WeightedEdge* out = edges.data() + out_off[c];
-    for (std::size_t i = 0; i < picks.size(); ++i) {
-      const auto [u, v] = decode_pair_index(picks[i], n);
-      out[i] = WeightedEdge{u, v, edge_weight(cfg, picks[i])};
-    }
+  pool->parallel_for(plan.chunks, [&](std::size_t c) {
+    gnm_fill_chunk(n, cfg, plan, c, edges.data() + out_off[c]);
   });
   // Strata are disjoint and ascending, so the assembled list is already in
   // canonical (u, v) order — the parallel CSR ctor skips its sort pass.
   return Graph(n, std::move(edges), pool);
 }
 
+void gnm_stream(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                const EdgeChunkSink& sink, ThreadPool* pool) {
+  const GnmPlan plan = gnm_plan(n, m, cfg);
+  std::optional<ThreadPool> owned;
+  if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
+  // Lane-private scratch, recycled across the lane's chunks — the stream
+  // never holds more than one chunk per lane in memory (contract rule 3).
+  std::vector<std::vector<WeightedEdge>> scratch(pool->size());
+  pool->parallel_for(plan.chunks, [&](std::size_t c) {
+    auto& buf = scratch[ThreadPool::current_lane()];
+    buf.resize(plan.quota[c]);
+    gnm_fill_chunk(n, cfg, plan, c, buf.data());
+    sink(c, std::span<const WeightedEdge>(buf.data(), buf.size()));
+  });
+}
+
 Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, double a, double b,
                double c, ThreadPool* pool) {
-  KMM_CHECK(n >= 2);
-  KMM_CHECK_MSG(n - 1 <= std::numeric_limits<Vertex>::max(),
-                "rmat_par: vertex ids must fit Vertex (32 bits)");
-  KMM_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
-                "rmat: quadrant probabilities must be positive and sum below 1");
+  rmat_check_params(n, a, b, c);
   const std::uint64_t levels = bits_for(n);
   const std::size_t chunks = gen_chunks(m, cfg.edges_per_chunk);
   std::vector<std::vector<WeightedEdge>> candidates(chunks);
@@ -478,36 +558,7 @@ Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, double a, 
   std::optional<ThreadPool> owned;
   if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
   pool->parallel_for(chunks, [&](std::size_t ci) {
-    const std::size_t quota = m * (ci + 1) / chunks - m * ci / chunks;
-    Rng rng(split3(cfg.seed, kRmatStreamTag, ci));
-    auto& out = candidates[ci];
-    out.reserve(quota);
-    // Same descent and same attempt cap per requested edge as gen::rmat.
-    const std::size_t max_attempts = 16 * quota + 64;
-    for (std::size_t attempt = 0; attempt < max_attempts && out.size() < quota; ++attempt) {
-      std::uint64_t u = 0, v = 0;
-      for (std::uint64_t level = 0; level < levels; ++level) {
-        const double r = rng.next_double();
-        u <<= 1;
-        v <<= 1;
-        if (r < a) {
-          // top-left: both bits 0
-        } else if (r < a + b) {
-          v |= 1;
-        } else if (r < a + b + c) {
-          u |= 1;
-        } else {
-          u |= 1;
-          v |= 1;
-        }
-      }
-      if (u == v || u >= n || v >= n) continue;
-      // Weights key off the global edge id, so cross-chunk duplicates carry
-      // the same weight and the dedup winner below is irrelevant.
-      out.push_back(WeightedEdge{static_cast<Vertex>(u), static_cast<Vertex>(v),
-                                 edge_weight(cfg, edge_index(static_cast<Vertex>(u),
-                                                             static_cast<Vertex>(v), n))});
-    }
+    rmat_fill_chunk(n, m, cfg, a, b, c, levels, chunks, ci, candidates[ci]);
   });
   // Deterministic assembly: dedup in fixed chunk order (first occurrence
   // wins), independent of which threads ran which chunks.
@@ -516,6 +567,49 @@ Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg, double a, 
     for (const auto& e : chunk) builder.add_edge(e.u, e.v, e.w);
   }
   return builder.build(pool);
+}
+
+void rmat_stream(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                 const EdgeChunkSink& sink, double a, double b, double c,
+                 ThreadPool* pool) {
+  rmat_check_params(n, a, b, c);
+  const std::uint64_t levels = bits_for(n);
+  const std::size_t chunks = gen_chunks(m, cfg.edges_per_chunk);
+  std::optional<ThreadPool> owned;
+  if (pool == nullptr) pool = &owned.emplace(resolve_gen_threads(cfg.threads));
+  std::vector<std::vector<WeightedEdge>> scratch(pool->size());
+  pool->parallel_for(chunks, [&](std::size_t ci) {
+    auto& buf = scratch[ThreadPool::current_lane()];
+    rmat_fill_chunk(n, m, cfg, a, b, c, levels, chunks, ci, buf);
+    sink(ci, std::span<const WeightedEdge>(buf.data(), buf.size()));
+  });
+}
+
+EdgeStream gnm_stream_source(std::size_t n, std::size_t m, ParGenConfig cfg,
+                             ThreadPool* pool) {
+  return [n, m, cfg, pool](const EdgeChunkSink& sink) {
+    gnm_stream(n, m, cfg, sink, pool);
+  };
+}
+
+EdgeStream rmat_stream_source(std::size_t n, std::size_t m, ParGenConfig cfg, double a,
+                              double b, double c, ThreadPool* pool) {
+  return [n, m, cfg, a, b, c, pool](const EdgeChunkSink& sink) {
+    rmat_stream(n, m, cfg, sink, a, b, c, pool);
+  };
+}
+
+EdgeStream edge_list_stream(const std::vector<WeightedEdge>& edges,
+                            std::size_t edges_per_chunk) {
+  const std::size_t per = std::max<std::size_t>(edges_per_chunk, 1);
+  return [&edges, per](const EdgeChunkSink& sink) {
+    const std::size_t chunks = edges.empty() ? 0 : (edges.size() + per - 1) / per;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * per;
+      const std::size_t hi = std::min(lo + per, edges.size());
+      sink(c, std::span<const WeightedEdge>(edges.data() + lo, hi - lo));
+    }
+  };
 }
 
 }  // namespace kmm::gen

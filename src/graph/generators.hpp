@@ -5,6 +5,8 @@
 // variants assign uniformly random weights; call with_unique_weights() when
 // an algorithm needs a unique MST.
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -128,5 +130,78 @@ struct ParGenConfig {
 [[nodiscard]] Graph rmat_par(std::size_t n, std::size_t m, const ParGenConfig& cfg,
                              double a = 0.57, double b = 0.19, double c = 0.19,
                              ThreadPool* pool = nullptr);
+
+// ---------------------------------------------------------------------------
+// Streaming ingest contract (mirrors the runtime.hpp porting recipe style).
+//
+// The *_stream generators emit the SAME deterministic chunked edge stream as
+// their *_par counterparts, but hand each chunk to a sink callback instead
+// of assembling a global edge list — the piece that lets the shard-direct
+// ingest plane (cluster/stream_ingest.hpp) build per-machine shards without
+// ever materializing the global graph.
+//
+// Sink semantics:
+//   1. sink(chunk, edges) is invoked exactly once per chunk id in
+//      [0, chunks), where the chunk count and each chunk's contents are a
+//      pure function of (generator parameters, cfg.seed,
+//      cfg.edges_per_chunk) — NEVER of the thread count or of which worker
+//      ran the chunk (per-chunk counter-derived PRNG streams, exactly as in
+//      gnm_par/rmat_par).
+//   2. Invocations may run CONCURRENTLY (one per pool lane) and in ANY
+//      order; the sink must be thread-safe. The chunk id is the stream
+//      position for consumers that need to re-establish a canonical order.
+//   3. The span is only valid for the duration of the call — the buffer
+//      behind it is lane-private scratch, recycled for the lane's next
+//      chunk. Sinks must consume or copy, never retain.
+//   4. A stream source is RE-RUNNABLE: invoking the generator again with
+//      identical arguments replays the identical stream (the ingest plane's
+//      count pass + fill pass each replay it once, trading one extra
+//      generation pass for never buffering the stream).
+//   5. gnm_stream chunks contain exactly the stratified G(n,m) edges —
+//      distinct by construction. rmat_stream chunks are raw quadrant-
+//      descent CANDIDATES: duplicates may appear within and across chunks;
+//      every occurrence of an edge carries the identical weight (weights
+//      key off the canonical edge index), so consumers dedup by (u, v)
+//      alone. Neither stream ever emits a self-loop.
+//
+// Determinism rule for consumers: any state built from the stream must be
+// invariant to chunk arrival order (sort/reduce into a canonical form, as
+// stream_ingest does) so that the result is bit-identical for every thread
+// count and ingest batching.
+// ---------------------------------------------------------------------------
+
+/// Per-chunk consumer of a streamed edge list; see the contract above.
+using EdgeChunkSink = std::function<void(std::size_t chunk, std::span<const WeightedEdge>)>;
+
+/// A re-runnable edge stream: invoking it replays the full chunk sequence
+/// into the sink. Closures over the *_stream generators below (or over an
+/// in-memory edge list, for tests) are the values the ingest plane consumes.
+using EdgeStream = std::function<void(const EdgeChunkSink&)>;
+
+/// Streamed flavor of gnm_par: identical stream plan, chunk contents and
+/// weights — gnm_par(args...) equals collecting gnm_stream(args...) chunks
+/// in chunk order. Same pool contract as gnm_par.
+void gnm_stream(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                const EdgeChunkSink& sink, ThreadPool* pool = nullptr);
+
+/// Streamed flavor of rmat_par: emits the identical candidate stream the
+/// materialized generator dedups in chunk order (contract rule 5).
+void rmat_stream(std::size_t n, std::size_t m, const ParGenConfig& cfg,
+                 const EdgeChunkSink& sink, double a = 0.57, double b = 0.19,
+                 double c = 0.19, ThreadPool* pool = nullptr);
+
+/// Convenience closures for the ingest plane. The pool pointer is captured;
+/// null spins a fresh pool per replay from cfg.threads.
+[[nodiscard]] EdgeStream gnm_stream_source(std::size_t n, std::size_t m, ParGenConfig cfg,
+                                           ThreadPool* pool = nullptr);
+[[nodiscard]] EdgeStream rmat_stream_source(std::size_t n, std::size_t m, ParGenConfig cfg,
+                                            double a = 0.57, double b = 0.19,
+                                            double c = 0.19, ThreadPool* pool = nullptr);
+
+/// An in-memory edge list replayed as a chunked stream (sequential; chunk
+/// size is ingest batching only — consumers must produce identical results
+/// for every value). Borrows `edges`; the caller keeps it alive.
+[[nodiscard]] EdgeStream edge_list_stream(const std::vector<WeightedEdge>& edges,
+                                          std::size_t edges_per_chunk = 1 << 16);
 
 }  // namespace kmm::gen

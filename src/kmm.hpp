@@ -4,8 +4,11 @@
 //
 // Layers (each usable on its own):
 //   util       — RNG, F_{2^61-1}, hashing, stats, codec
-//   graph      — CSR graphs, generators, sequential reference algorithms
-//   cluster    — the k-machine synchronous-round simulator and partitions
+//   graph      — CSR graphs, generators (materialized and chunked-streaming
+//                flavors), sequential reference algorithms
+//   cluster    — the k-machine synchronous-round simulator, partitions, and
+//                the shard-direct streaming ingest plane (budget-capped
+//                per-machine shards built without a global graph)
 //   runtime    — thread-parallel superstep execution: per-machine
 //                MachineProgram handlers run on a worker pool with
 //                per-source destination-bucketed outbox shards, a barrier,
@@ -27,6 +30,7 @@
 #include "cluster/distributed_graph.hpp"
 #include "cluster/proxy.hpp"
 #include "cluster/shared_randomness.hpp"
+#include "cluster/stream_ingest.hpp"
 #include "core/boruvka.hpp"
 #include "core/connectivity.hpp"
 #include "core/drr.hpp"

@@ -20,10 +20,11 @@
 //   * destination d's delivery task walks the shards' d-buckets in
 //     ascending source order (per-machine send order preserved), which is
 //     exactly the sequential global send order projected onto inbox d, and
-//   * the ledger reduction folds per-link partials in ascending (src, dst)
-//     order, and every reduced quantity is an unsigned sum or maximum of
-//     the same per-link values the sequential pass accumulates
-//     message-by-message (see cluster.hpp for the delivery contract).
+//   * the ledger reduction tree-folds the sparse per-destination link
+//     partials pairwise, and every reduced quantity is an unsigned sum or
+//     maximum of the same per-link values the sequential pass accumulates
+//     message-by-message — so the hierarchical fold order cannot change a
+//     ledger bit (see cluster.hpp for the delivery contract).
 //
 // threads semantics: 1 = sequential in-line execution (no pool, handlers
 // write directly into the cluster outbox); 0 = hardware concurrency; any
