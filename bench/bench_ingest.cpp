@@ -84,7 +84,8 @@ double compare(BenchJson& json, const char* family, std::size_t n, MachineId k) 
         stream_ingest(n, part,
                       rmat ? gen::rmat_stream_source(n, m, cfg)
                            : gen::gnm_stream_source(n, m, cfg),
-                      iopts);
+                      iopts)
+            .value();
     return dg.num_edges();
   });
   report(json, family, "streamed", n, m, k, streamed);

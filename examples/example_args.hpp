@@ -7,6 +7,10 @@
 // Perfetto). Both flags accept `--flag FILE` and `--flag=FILE`.
 // kmachine_cli has a richer flag set and keeps its own parser, but reuses
 // ObsScope below.
+//
+// Parsing is strict: duplicate flags, non-numeric values, and trailing
+// garbage after a number ("8x") exit(2) with a one-line error instead of
+// silently running with a misread configuration.
 
 #include <cerrno>
 #include <cstdio>
@@ -73,9 +77,14 @@ struct ExampleArgs {
   const char* trace_out = nullptr;    // Chrome trace-event JSON
   std::vector<const char*> pos;
 
-  /// pos[i] as an integer, or `fallback` when absent.
+  /// pos[i] as an integer, or `fallback` when absent. Strict: trailing
+  /// garbage ("4096x") or a negative sign exits(2) instead of parsing a
+  /// prefix.
   [[nodiscard]] unsigned long long pos_u64(std::size_t i, unsigned long long fallback) const {
-    return i < pos.size() ? std::strtoull(pos[i], nullptr, 10) : fallback;
+    if (i >= pos.size()) return fallback;
+    char flag[32];
+    std::snprintf(flag, sizeof flag, "positional #%zu", i + 1);
+    return require_u64(flag, pos[i]);
   }
 };
 
@@ -150,20 +159,27 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
     if (argv[i][len] == '=') return argv[i] + len + 1;
     return nullptr;
   };
+  // Repeating a flag is almost always a stale shell history line; reject it
+  // instead of silently keeping whichever occurrence wins.
+  const auto once = [](bool& seen, const char* flag) {
+    if (seen) {
+      std::fprintf(stderr, "error: duplicate flag %s\n", flag);
+      std::exit(2);
+    }
+    seen = true;
+  };
+  bool seen_threads = false, seen_metrics = false, seen_trace = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* value = flag_value(i, "--threads")) {
-      // A non-numeric value keeps the default instead of silently parsing
-      // to 0 (= all hardware threads).
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      if (end != value && *end == '\0') {
-        args.threads = static_cast<unsigned>(parsed);
-      } else {
-        std::fprintf(stderr, "ignoring non-numeric --threads value '%s'\n", value);
-      }
+      once(seen_threads, "--threads");
+      // Strict: a non-numeric or partially numeric value exits instead of
+      // silently parsing to 0 (= all hardware threads).
+      args.threads = static_cast<unsigned>(require_u64("--threads", value));
     } else if (const char* metrics = flag_value(i, "--metrics-out")) {
+      once(seen_metrics, "--metrics-out");
       args.metrics_out = metrics;
     } else if (const char* trace = flag_value(i, "--trace-out")) {
+      once(seen_trace, "--trace-out");
       args.trace_out = trace;
     } else if (std::strcmp(argv[i], "--threads") == 0 ||
                std::strcmp(argv[i], "--metrics-out") == 0 ||

@@ -21,11 +21,18 @@
 //                 list and Graph are never materialized, so --verify and the
 //                 global-recourse algorithms are unavailable)
 //               --mem-budget BYTES (per-machine shard byte cap for
-//                 --stream-ingest; ingest hard-fails with a diagnostic when
+//                 --stream-ingest; ingest fails with a diagnostic exit when
 //                 any machine would exceed it)
+//               --fault-profile none|crashes|lossy|corrupt|chaos (seeded
+//                 fault schedule for conn|mst|flood; crashes recover via the
+//                 checkpoint/replay plane, lossy links are retransmitted,
+//                 corruption is left for --verify to catch)
+//               --fault-seed S (schedule PRF seed; default 0)
+//               --checkpoint-every C (checkpoint cadence for crash recovery)
 // Every value flag accepts both `--key value` and `--key=value`.
-// --k/--threads/--mem-budget are validated (non-numeric, zero, and k > n or
-// k < 2 are rejected with a clean error).
+// Flags are validated strictly: non-numeric or trailing-garbage values,
+// duplicate flags, zero where it has no meaning, and k > n or k < 2 are all
+// rejected with a clean one-line error.
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -59,6 +67,9 @@ struct Options {
   std::uint64_t mem_budget = 0;  // per-machine shard byte cap; 0 = unlimited
   std::string metrics_out;       // per-superstep timeline JSON ("" = off)
   std::string trace_out;         // Chrome trace-event JSON ("" = off)
+  std::string fault_profile = "none";  // seeded fault schedule preset
+  std::uint64_t fault_seed = 0;        // schedule PRF seed
+  unsigned checkpoint_every = 8;       // crash-recovery checkpoint cadence
   bool stream_ingest = false;    // shard-direct ingest, no global graph
   bool coordinator = false;
   bool coinflip = false;
@@ -74,7 +85,9 @@ struct Options {
                "          [--blocks B] [--k K] [--seed S] [--bandwidth BITS]\n"
                "          [--threads T] [--coordinator] [--coinflip] [--no-verify]\n"
                "          [--stream-ingest] [--mem-budget BYTES]\n"
-               "          [--metrics-out FILE] [--trace-out FILE]\n",
+               "          [--metrics-out FILE] [--trace-out FILE]\n"
+               "          [--fault-profile none|crashes|lossy|corrupt|chaos]\n"
+               "          [--fault-seed S] [--checkpoint-every C]\n",
                argv0);
   std::exit(2);
 }
@@ -82,6 +95,14 @@ struct Options {
 Options parse(int argc, char** argv) {
   Options opt;
   std::map<std::string, std::string> kv;
+  // A repeated value flag is rejected rather than last-one-wins: a stale
+  // shell history line should fail loudly, not silently override.
+  const auto set_kv = [&](const std::string& key, std::string value) {
+    if (!kv.emplace(key, std::move(value)).second) {
+      std::fprintf(stderr, "error: duplicate flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--coordinator") {
@@ -94,9 +115,9 @@ Options parse(int argc, char** argv) {
       opt.stream_ingest = true;
     } else if (arg.rfind("--", 0) == 0 && arg.find('=') != std::string::npos) {
       const std::size_t eq = arg.find('=');
-      kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      set_kv(arg.substr(2, eq - 2), arg.substr(eq + 1));
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      kv[arg.substr(2)] = argv[++i];
+      set_kv(arg.substr(2), argv[++i]);
     } else {
       usage(argv[0]);
     }
@@ -134,6 +155,17 @@ Options parse(int argc, char** argv) {
   opt.mem_budget = get_positive_u64("mem-budget", 0);
   if (kv.count("metrics-out")) opt.metrics_out = kv["metrics-out"];
   if (kv.count("trace-out")) opt.trace_out = kv["trace-out"];
+  opt.fault_seed = get_u64("fault-seed", opt.fault_seed);
+  opt.checkpoint_every =
+      static_cast<unsigned>(get_positive_u64("checkpoint-every", opt.checkpoint_every));
+  if (kv.count("fault-profile")) opt.fault_profile = kv["fault-profile"];
+  if (FaultProfile::find(opt.fault_profile) == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown --fault-profile '%s' (expected "
+                 "none|crashes|lossy|corrupt|chaos)\n",
+                 opt.fault_profile.c_str());
+    std::exit(2);
+  }
   return opt;
 }
 
@@ -192,6 +224,26 @@ void print_stats(const char* what, const RunStats& stats) {
               static_cast<unsigned long long>(stats.bits));
 }
 
+void print_fault_stats(const FaultPlane* plane) {
+  if (plane == nullptr) return;
+  const FaultStats s = plane->stats();
+  std::printf("faults: crashes=%llu restores=%llu restarts=%llu replayed=%llu "
+              "checkpoints=%llu\n",
+              static_cast<unsigned long long>(s.crashes),
+              static_cast<unsigned long long>(s.restores),
+              static_cast<unsigned long long>(s.restarts),
+              static_cast<unsigned long long>(s.replayed_steps),
+              static_cast<unsigned long long>(s.checkpoints));
+  std::printf("faults: drops=%llu dups=%llu reorders=%llu corruptions=%llu "
+              "stall_rounds=%llu overhead_rounds=%llu\n",
+              static_cast<unsigned long long>(s.drops),
+              static_cast<unsigned long long>(s.duplicates),
+              static_cast<unsigned long long>(s.reorders),
+              static_cast<unsigned long long>(s.corruptions),
+              static_cast<unsigned long long>(s.stall_rounds),
+              static_cast<unsigned long long>(s.overhead_rounds));
+}
+
 /// The --stream-ingest path: per-machine shards are built straight from the
 /// chunked generator stream; no global edge list or Graph ever exists, so
 /// only the model-faithful algorithms (no global-recourse verifiers) run
@@ -200,6 +252,12 @@ int run_stream(const Options& opt) {
   const std::size_t n = opt.n;
   const std::size_t m = opt.m != 0 ? opt.m : 3 * opt.n;
   kmmex::require_machines(opt.k, n, "--k");
+  if (opt.fault_profile != "none") {
+    std::fprintf(stderr,
+                 "error: --fault-profile is not supported with --stream-ingest "
+                 "(the fault plane rides the superstep runtime; drop one flag)\n");
+    return 2;
+  }
   if (opt.graph != "gnm" && opt.graph != "rmat") {
     std::fprintf(stderr,
                  "error: --stream-ingest supports --graph gnm|rmat (the chunked "
@@ -230,8 +288,13 @@ int run_stream(const Options& opt) {
   StreamIngestOptions iopts;
   iopts.budget.bytes_per_machine = opt.mem_budget;
   iopts.threads = opt.threads;
-  const DistributedGraph dg = stream_ingest(
+  auto ingest = stream_ingest(
       n, VertexPartition::random(n, opt.k, split(opt.seed, 0x9a97)), stream, iopts);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "error: %s\n", ingest.error().message.c_str());
+    return 1;
+  }
+  const DistributedGraph dg = std::move(ingest).value();
   std::printf("graph=%s n=%zu m=%zu (stream-ingest) | k=%u seed=%llu\n",
               opt.graph.c_str(), n, dg.num_edges(), opt.k,
               static_cast<unsigned long long>(opt.seed));
@@ -333,6 +396,29 @@ int main(int argc, char** argv) {
                 resolve_threads(opt.threads, opt.k));
   }
 
+  // Fault plane: seeded schedule + recovery machinery for the algorithms
+  // that register recovery hooks (conn/mst via the Borůvka engine, flood).
+  // Corruption profiles are meant to be *caught*: run them with --verify.
+  std::optional<FaultSchedule> fault_schedule;
+  std::optional<FaultPlane> fault_plane;
+  if (opt.fault_profile != "none") {
+    if (opt.algo != "conn" && opt.algo != "mst" && opt.algo != "flood") {
+      std::fprintf(stderr,
+                   "error: --fault-profile supports --algo conn|mst|flood (the "
+                   "recovery-hooked algorithms), got '%s'\n",
+                   opt.algo.c_str());
+      return 2;
+    }
+    fault_schedule.emplace(opt.fault_seed, *FaultProfile::find(opt.fault_profile));
+    FaultPlaneConfig fpc;
+    fpc.checkpoint_every = opt.checkpoint_every;
+    fault_plane.emplace(*fault_schedule, fpc);
+    acfg.fault = &*fault_plane;
+    std::printf("fault profile=%s seed=%llu checkpoint-every=%u\n",
+                opt.fault_profile.c_str(),
+                static_cast<unsigned long long>(opt.fault_seed), opt.checkpoint_every);
+  }
+
   if (opt.algo == "leader") {
     LeaderElectionConfig lcfg;
     lcfg.seed = acfg.seed;
@@ -352,6 +438,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.num_components), res.phases.size(),
                 res.forest_edges().size(), res.converged ? "yes" : "no");
     print_stats("conn", res.stats);
+    print_fault_stats(fault_plane ? &*fault_plane : nullptr);
     if (opt.verify) {
       const bool ok = canonical_labels(res.labels) == ref::component_labels(g);
       std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
@@ -368,6 +455,7 @@ int main(int argc, char** argv) {
     std::printf("mst_edges=%zu total_weight=%llu phases=%zu\n", res.mst_edges().size(),
                 static_cast<unsigned long long>(total), res.phases.size());
     print_stats("mst", res.stats);
+    print_fault_stats(fault_plane ? &*fault_plane : nullptr);
     if (opt.verify) {
       const bool ok = total == ref::msf_weight(g);
       std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
@@ -377,11 +465,26 @@ int main(int argc, char** argv) {
     FloodingConfig fcfg;
     fcfg.threads = opt.threads;
     fcfg.obs = obs.sink();
+    fcfg.fault = fault_plane ? &*fault_plane : nullptr;
     const auto res = flooding_connectivity(cluster, dg, fcfg);
     std::printf("components=%llu supersteps=%llu\n",
                 static_cast<unsigned long long>(res.num_components),
                 static_cast<unsigned long long>(res.supersteps));
     print_stats("flood", res.stats);
+    print_fault_stats(fault_plane ? &*fault_plane : nullptr);
+    if (opt.verify) {
+      // Flooding's contract is exact: labels[v] == smallest vertex id in
+      // v's component, so the referee compares raw labels (canonicalizing
+      // would erase a uniformly-propagated tampered label). Out-of-range
+      // labels are a mismatch by definition — range-check before use.
+      const auto expect = ref::component_labels(g);
+      bool ok = res.labels.size() == expect.size();
+      for (std::size_t v = 0; ok && v < expect.size(); ++v) {
+        ok = res.labels[v] < res.labels.size() && res.labels[v] == expect[v];
+      }
+      std::printf("verify: %s\n", ok ? "ok" : "MISMATCH");
+      return ok ? 0 : 1;
+    }
   } else if (opt.algo == "referee") {
     RefereeConfig rcfg;
     rcfg.threads = opt.threads;

@@ -47,9 +47,13 @@ int main(int argc, char** argv) {
     StreamIngestOptions iopts;
     iopts.budget.bytes_per_machine = budget;
     iopts.threads = threads;
-    const DistributedGraph dg =
-        stream_ingest(n, VertexPartition::random(n, k, 99),
-                      gen::rmat_stream_source(n, m, gcfg), iopts);
+    auto ingest = stream_ingest(n, VertexPartition::random(n, k, 99),
+                                gen::rmat_stream_source(n, m, gcfg), iopts);
+    if (!ingest.ok()) {
+      std::fprintf(stderr, "error: %s\n", ingest.error().message.c_str());
+      return 1;
+    }
+    const DistributedGraph dg = std::move(ingest).value();
 
     Cluster cluster(ClusterConfig::for_graph(n, k));
     BoruvkaConfig config;

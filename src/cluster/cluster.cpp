@@ -276,6 +276,21 @@ std::span<const Message> Cluster::inbox(MachineId m) const {
   return inboxes_[m];
 }
 
+void Cluster::clear_inbox(MachineId m) {
+  KMM_CHECK(m < config_.k);
+  inboxes_[m].clear();  // capacity retained; payload arenas recycle next delivery
+}
+
+void Cluster::inject_inbox(MachineId m, const Message& msg) {
+  KMM_CHECK(m < config_.k && msg.dst == m);
+  Message copy = msg;
+  // Inbox lifetime for the payload: inbox_arenas_[m] is reset by the next
+  // delivery to m (direct plane) or the next superstep() — the same instant
+  // inboxes_[m] is cleared, so the copy can never outlive its words.
+  copy.reintern(inbox_arenas_[m]);
+  inboxes_[m].push_back(copy);
+}
+
 void Cluster::charge_rounds(std::uint64_t rounds) { stats_.rounds += rounds; }
 
 void Cluster::track_cut(std::vector<std::uint8_t> side) {

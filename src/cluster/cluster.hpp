@@ -151,6 +151,15 @@ class Cluster {
 
   [[nodiscard]] std::span<const Message> inbox(MachineId m) const;
 
+  /// Fault-plane recovery surface: drop machine m's current inbox (what a
+  /// crash loses) and re-inject a retransmitted message into it. Injection
+  /// is ledger-free — the bits were already charged when the message was
+  /// delivered; the plane accounts the retransmission analytically via
+  /// charge_rounds(). The payload is re-homed into the inbox's arena, so
+  /// the injected message lives exactly as long as the inbox it sits in.
+  void clear_inbox(MachineId m);
+  void inject_inbox(MachineId m, const Message& msg);
+
   /// Charge rounds for a protocol whose cost is accounted analytically
   /// (e.g. the Section 2.2 shared-randomness distribution).
   void charge_rounds(std::uint64_t rounds);

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_schedule.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,9 +31,10 @@ std::size_t projected_machine_bytes(std::uint64_t slots, std::size_t hosted,
 
 }  // namespace
 
-DistributedGraph stream_ingest(std::size_t n, VertexPartition partition,
-                               const gen::EdgeStream& stream,
-                               const StreamIngestOptions& opts) {
+Expected<DistributedGraph, IngestError> stream_ingest(std::size_t n,
+                                                      VertexPartition partition,
+                                                      const gen::EdgeStream& stream,
+                                                      const StreamIngestOptions& opts) {
   KMM_CHECK_MSG(partition.num_vertices() == n, "stream_ingest: partition size must match n");
   const MachineId k = partition.machines();
 
@@ -72,8 +74,9 @@ DistributedGraph stream_ingest(std::size_t n, VertexPartition partition,
     machine_slots[mi] += cnt[v].load(std::memory_order_relaxed);
   }
 
-  // Budget check BEFORE allocating any shard: fail with a diagnostic naming
-  // the overflowing machine instead of OOM-ing the host.
+  // Budget check BEFORE allocating any shard: return a structured error
+  // naming the overflowing machine instead of OOM-ing the host (the CLI
+  // prints the message and exits nonzero; library callers can recover).
   if (opts.budget.bytes_per_machine != 0) {
     std::vector<std::size_t> loads;
     partition.loads(loads);
@@ -86,7 +89,22 @@ DistributedGraph stream_ingest(std::size_t n, VertexPartition partition,
                       "memory budget is %zu bytes (n=%zu, k=%u) — raise --mem-budget or "
                       "add machines",
                       i, need, opts.budget.bytes_per_machine, n, k);
-        KMM_CHECK_MSG(false, msg);
+        return Expected<DistributedGraph, IngestError>::err(IngestError{msg});
+      }
+    }
+  }
+
+  // Scheduled ingest allocation failures (fault plane): deterministic
+  // stand-in for a machine OOM-ing while materializing its shard.
+  if (opts.fault != nullptr) {
+    for (MachineId i = 0; i < k; ++i) {
+      if (opts.fault->ingest_alloc_fails(i)) {
+        char msg[192];
+        std::snprintf(msg, sizeof msg,
+                      "stream_ingest: simulated allocation failure at machine %u "
+                      "(fault schedule)",
+                      i);
+        return Expected<DistributedGraph, IngestError>::err(IngestError{msg});
       }
     }
   }

@@ -36,8 +36,11 @@
 #include "cluster/distributed_graph.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "util/expected.hpp"
 
 namespace kmm {
+
+class FaultSchedule;
 
 /// Per-machine byte cap for shard state (0 = unlimited). Models the
 /// k-machine assumption that no machine can hold the whole graph: ingest
@@ -54,14 +57,25 @@ struct StreamIngestOptions {
   unsigned threads = 1;
   /// Reuse the caller's workers (also handed to the hosted-list build).
   ThreadPool* pool = nullptr;
+  /// Optional fault schedule (src/fault/): machines whose shard allocation
+  /// is scheduled to fail (add_ingest_alloc_failure / alloc_fail_prob) turn
+  /// into a structured IngestError instead of allocating — the deterministic
+  /// stand-in for an ingest-time OOM.
+  const FaultSchedule* fault = nullptr;
 };
 
 /// Build a shard-direct DistributedGraph from a re-runnable edge stream
 /// (see the streaming ingest contract in graph/generators.hpp). The stream
 /// is replayed twice; edges must satisfy u, v < n and u != v, and duplicate
 /// (u, v) occurrences must carry identical weights.
-[[nodiscard]] DistributedGraph stream_ingest(std::size_t n, VertexPartition partition,
-                                             const gen::EdgeStream& stream,
-                                             const StreamIngestOptions& opts = {});
+///
+/// Resource exhaustion — a machine whose projected shard bytes exceed the
+/// MachineMemoryBudget, or a scheduled ingest allocation failure — returns
+/// an IngestError naming the machine and shortfall instead of aborting;
+/// contract violations in the stream itself (out-of-range edges,
+/// self-loops) still abort, as malformed input is a caller bug.
+[[nodiscard]] Expected<DistributedGraph, IngestError> stream_ingest(
+    std::size_t n, VertexPartition partition, const gen::EdgeStream& stream,
+    const StreamIngestOptions& opts = {});
 
 }  // namespace kmm

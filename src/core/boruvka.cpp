@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/drr.hpp"
+#include "fault/fault_plane.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -65,7 +66,7 @@ BoruvkaEngine::BoruvkaEngine(Cluster& cluster, const DistributedGraph& dg,
       shared_(config.seed),
       n_(dg.num_vertices()),
       label_bits_(bits_for(std::max<std::uint64_t>(n_, 2))),
-      runtime_(cluster, RuntimeConfig{config.threads, config.obs}) {
+      runtime_(cluster, RuntimeConfig{config.threads, config.obs, config.fault}) {
   KMM_CHECK_MSG(n_ >= 2, "the engine needs at least two vertices");
   const MachineId k = cluster_->k();
   machine_parts_.resize(k);
@@ -563,6 +564,113 @@ void BoruvkaEngine::relabel_part(MachineId machine, Label from, Label to) {
   parts.erase(from);
 }
 
+void BoruvkaEngine::snapshot_machine(MachineId m, WordWriter& w) {
+  w.u64(static_cast<std::uint64_t>(bit_scratch_[m]));
+  w.u64(sampler_retries_by_machine_[m]);
+  for (const Vertex v : dg_->vertices_of(m)) w.u64(labels_[v]);
+
+  std::uint64_t count = 0;
+  machine_parts_[m].for_each([&](Label, const std::vector<Vertex>&) { ++count; });
+  w.u64(count);
+  machine_parts_[m].for_each_sorted([&](Label label, const std::vector<Vertex>& verts) {
+    w.u64(label).u64(verts.size());
+    for (const Vertex v : verts) w.u64(v);
+  });
+
+  count = 0;
+  resend_[m].for_each([&](Label, const Weight&) { ++count; });
+  w.u64(count);
+  resend_[m].for_each_sorted([&](Label label, const Weight& thr) { w.u64(label).u64(thr); });
+
+  count = 0;
+  proxy_records_[m].for_each([&](Label, const Record&) { ++count; });
+  w.u64(count);
+  proxy_records_[m].for_each_sorted([&](Label label, const Record& rec) {
+    w.u64(label)
+        .u64(rec.state)
+        .u64(rec.parent)
+        .u64(rec.children_left)
+        .u64(rec.thr)
+        .u64(rec.has_candidate ? 1 : 0)
+        .u64(rec.cand_in)
+        .u64(rec.cand_out)
+        .u64(rec.cand_w)
+        .u64(rec.target);
+    for (const auto word : rec.srcs) w.u64(word);
+  });
+
+  const auto& forest = result_.forest_by_machine[m];
+  w.u64(forest.size());
+  for (const auto& [u, v] : forest) w.u64(u).u64(v);
+  const auto& mst = result_.mst_by_machine[m];
+  w.u64(mst.size());
+  for (const auto& e : mst) w.u64(e.u).u64(e.v).u64(e.w);
+}
+
+void BoruvkaEngine::restore_machine(MachineId m, WordReader& r) {
+  bit_scratch_[m] = static_cast<char>(r.u64());
+  sampler_retries_by_machine_[m] = r.u64();
+  for (const Vertex v : dg_->vertices_of(m)) labels_[v] = r.u64();
+
+  machine_parts_[m].clear();
+  std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Label label = r.u64();
+    const std::uint64_t size = r.u64();
+    bool created = false;
+    auto& part = machine_parts_[m].get_or_create(label, created);
+    part.clear();
+    for (std::uint64_t j = 0; j < size; ++j) {
+      part.push_back(static_cast<Vertex>(r.u64()));
+    }
+  }
+
+  resend_[m].clear();
+  count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Label label = r.u64();
+    bool created = false;
+    resend_[m].get_or_create(label, created) = r.u64();
+  }
+
+  proxy_records_[m].clear();
+  count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Label label = r.u64();
+    bool created = false;
+    Record& rec = proxy_records_[m].get_or_create(label, created);
+    rec.reset(mask_words());
+    rec.state = static_cast<State>(r.u64());
+    rec.parent = r.u64();
+    rec.children_left = static_cast<std::uint32_t>(r.u64());
+    rec.thr = r.u64();
+    rec.has_candidate = r.u64() != 0;
+    rec.cand_in = static_cast<Vertex>(r.u64());
+    rec.cand_out = static_cast<Vertex>(r.u64());
+    rec.cand_w = r.u64();
+    rec.target = r.u64();
+    for (auto& word : rec.srcs) word = r.u64();
+  }
+
+  auto& forest = result_.forest_by_machine[m];
+  forest.clear();
+  count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto u = static_cast<Vertex>(r.u64());
+    const auto v = static_cast<Vertex>(r.u64());
+    forest.emplace_back(u, v);
+  }
+  auto& mst = result_.mst_by_machine[m];
+  mst.clear();
+  count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto u = static_cast<Vertex>(r.u64());
+    const auto v = static_cast<Vertex>(r.u64());
+    const Weight weight = r.u64();
+    mst.push_back(WeightedEdge{u, v, weight});
+  }
+}
+
 std::uint64_t BoruvkaEngine::count_distinct_labels() {
   seen_scratch_.assign(n_, 0);
   std::uint64_t count = 0;
@@ -619,6 +727,11 @@ void BoruvkaEngine::run_component_count() {
 
 BoruvkaResult BoruvkaEngine::run() {
   const StatsScope scope(*cluster_);
+  // Fault-plane state hooks for the whole run (porting recipe rule 8b);
+  // cleared on exit so a plane outliving the engine cannot call into it.
+  const StateHookScope fault_scope(
+      config_.fault, [this](MachineId m, WordWriter& w) { snapshot_machine(m, w); },
+      [this](MachineId m, WordReader& r) { restore_machine(m, r); });
   const std::uint64_t lg = bits_for(std::max<std::uint64_t>(n_, 2));
   const int max_phases =
       config_.max_phases > 0 ? config_.max_phases : static_cast<int>(12 * lg) + 1;

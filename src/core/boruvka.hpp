@@ -114,6 +114,11 @@ struct BoruvkaConfig {
   /// verification). Null records nothing; the ledger is identical either
   /// way. See src/obs/obs_sink.hpp.
   const ObsSink* obs = nullptr;
+  /// Optional fault-injection & recovery plane (src/fault/). The engine
+  /// registers per-machine state hooks covering parts, labels, pending
+  /// resends, proxy records and recorded output edges, so scheduled crashes
+  /// roll the victim back instead of aborting; null is bit-identical.
+  FaultPlane* fault = nullptr;
 };
 
 struct PhaseTrace {
@@ -208,6 +213,15 @@ class BoruvkaEngine {
   void apply_handoff(WordReader& reader, LabelRegistry<Record>& into);
   void relabel_part(MachineId machine, Label from, Label to);
   [[nodiscard]] std::uint64_t count_distinct_labels();  // instrumentation only
+
+  // -- fault-plane state hooks (porting recipe rule 8b) --------------------
+  // Serialize / rebuild machine m's complete cross-step state. Deliberately
+  // excluded: finished_ (monotone one-way flags = replicated stable
+  // storage) and all within-step scratch (sum_slots_, sketch_pool_,
+  // writer_, *_scratch_ except the OR-reduce bits), which is re-cleared
+  // before every use.
+  void snapshot_machine(MachineId m, WordWriter& w);
+  void restore_machine(MachineId m, WordReader& r);
 
   [[nodiscard]] std::size_t mask_words() const { return (cluster_->k() + 63) / 64; }
   static void mask_set(std::vector<std::uint64_t>& mask, MachineId m) {

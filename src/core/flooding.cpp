@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "fault/fault_plane.hpp"
 #include "util/assert.hpp"
 #include "util/codec.hpp"
 
@@ -43,7 +44,7 @@ FloodingResult flooding_connectivity(Cluster& cluster, const DistributedGraph& d
   const std::uint64_t label_bits = bits_for(std::max<std::uint64_t>(n, 2));
   const std::uint64_t max_supersteps =
       config.max_supersteps != 0 ? config.max_supersteps : n + 1;
-  Runtime rt(cluster, RuntimeConfig{config.threads, config.obs});
+  Runtime rt(cluster, RuntimeConfig{config.threads, config.obs, config.fault});
 
   FloodingResult result;
   result.labels.resize(n);
@@ -62,6 +63,29 @@ FloodingResult flooding_connectivity(Cluster& cluster, const DistributedGraph& d
   // order is explicit in the sort.
   std::vector<std::vector<std::pair<Vertex, Label>>> boundary(k);
   std::vector<char> bit(k, 0);  // bit[i] = machine i sent this iteration
+
+  // Fault-plane state hooks (porting recipe rule 8b): machine m's complete
+  // cross-step state is its sent-bit plus the label/changed cells of its
+  // hosted vertices — queue[m] and boundary[m] are drained/cleared at step
+  // boundaries and need no serialization.
+  const StateHookScope fault_scope(
+      config.fault,
+      [&](MachineId m, WordWriter& w) {
+        w.u64(static_cast<std::uint64_t>(bit[m]));
+        for (const Vertex v : dg.vertices_of(m)) {
+          w.u64(result.labels[v]);
+          w.u64(static_cast<std::uint64_t>(changed[v]));
+        }
+      },
+      [&](MachineId m, WordReader& r) {
+        bit[m] = static_cast<char>(r.u64());
+        for (const Vertex v : dg.vertices_of(m)) {
+          result.labels[v] = r.u64();
+          changed[v] = static_cast<char>(r.u64());
+        }
+        queue[m].clear();
+        boundary[m].clear();
+      });
 
   // Initial machine-local fixpoint before any exchange. No handler sends,
   // so this superstep is free — pure parallel local computation.

@@ -25,6 +25,8 @@
 
 namespace kmm {
 
+class FaultPlane;
+
 struct FloodingConfig {
   /// Caps the boundary-exchange iteration count (0 = n+1, always
   /// sufficient: the smallest label needs at most one superstep per
@@ -37,6 +39,11 @@ struct FloodingConfig {
   /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
   /// nothing and leaves the ledger untouched either way.
   const ObsSink* obs = nullptr;
+  /// Optional fault-injection & recovery plane (src/fault/). Flooding
+  /// registers per-machine state hooks (labels/changed/sent-bit of the
+  /// hosted vertex partition), so scheduled crashes roll back and replay
+  /// instead of aborting; null leaves behaviour bit-identical.
+  FaultPlane* fault = nullptr;
 };
 
 struct FloodingResult {

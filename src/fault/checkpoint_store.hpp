@@ -1,0 +1,53 @@
+#pragma once
+// Capacity-retaining storage for one generation of per-machine checkpoints.
+//
+// The fault plane snapshots every machine's algorithm state as a flat word
+// vector (WordWriter), tagged with the superstep ordinal it was taken at.
+// Overwriting a generation reuses each machine's buffer (WordWriter::clear
+// keeps capacity), so periodic checkpointing allocates only until the
+// largest snapshot has been seen — after warmup a checkpoint is pure
+// memcpy-speed serialization, which is what bench_faults measures.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "util/codec.hpp"
+
+namespace kmm {
+
+class CheckpointStore {
+ public:
+  /// Make room for k machines (idempotent; existing buffers retained).
+  void ensure(MachineId k) {
+    if (writers_.size() < k) writers_.resize(k);
+  }
+
+  /// Begin machine m's snapshot for the current generation: returns a
+  /// cleared writer the serializer appends to.
+  [[nodiscard]] WordWriter& writer(MachineId m) {
+    WordWriter& w = writers_[m];
+    w.clear();
+    return w;
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> words(MachineId m) const {
+    return writers_[m].words();
+  }
+
+  void set_step(std::uint64_t step) noexcept { step_ = step; }
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+
+  [[nodiscard]] std::size_t total_words() const noexcept {
+    std::size_t total = 0;
+    for (const WordWriter& w : writers_) total += w.size();
+    return total;
+  }
+
+ private:
+  std::vector<WordWriter> writers_;  // one buffer per machine, reused
+  std::uint64_t step_ = 0;           // superstep this generation was taken at
+};
+
+}  // namespace kmm

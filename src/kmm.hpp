@@ -23,6 +23,13 @@
 //   obs        — opt-in observability: per-superstep MetricsTimeline rows
 //                and Chrome-trace spans, attached through an ObsSink on any
 //                core config (off by default; never perturbs the ledger)
+//   fault      — opt-in fault injection & recovery: a seeded, bit-
+//                reproducible FaultSchedule (machine crashes, lossy links,
+//                payload corruption) plus the FaultPlane recovery machinery
+//                (superstep checkpoint/replay, retransmit-from-outbox,
+//                restart fallback), attached through RuntimeConfig::fault /
+//                the core configs' fault field (off by default; detached is
+//                bit-identical)
 //   lowerbound — Section 4 two-party simulation artifacts
 
 #include "cluster/cluster.hpp"
@@ -43,6 +50,9 @@
 #include "core/rep_mst.hpp"
 #include "core/two_edge.hpp"
 #include "core/verification.hpp"
+#include "fault/checkpoint_store.hpp"
+#include "fault/fault_plane.hpp"
+#include "fault/fault_schedule.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -62,6 +72,7 @@
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"
 #include "sketch/sketch_pool.hpp"
+#include "util/expected.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"

@@ -87,7 +87,9 @@ void MetricsTimeline::on_superstep(const Cluster& cluster, std::uint64_t handler
   row.handler_ns = handler_ns + carry_handler_ns_;
   row.deliver_ns = deliver_ns + carry_deliver_ns_;
   row.reduce_ns = reduce_ns + carry_reduce_ns_;
+  row.fault_events = carry_fault_events_;
   carry_handler_ns_ = carry_deliver_ns_ = carry_reduce_ns_ = 0;
+  carry_fault_events_ = 0;
   const std::uint64_t alloc_now = obs::alloc_count_now();
   row.allocs = alloc_now - prev_.prev_alloc;
   prev_.prev_alloc = alloc_now;
@@ -176,6 +178,7 @@ MetricsTimeline::Row MetricsTimeline::totals() const {
     total.deliver_ns += r.deliver_ns;
     total.reduce_ns += r.reduce_ns;
     total.allocs += r.allocs;
+    total.fault_events += r.fault_events;
   }
   return total;
 }
@@ -186,6 +189,7 @@ void MetricsTimeline::clear() noexcept {
   top_.clear();
   full_rows_ = 0;
   carry_handler_ns_ = carry_deliver_ns_ = carry_reduce_ns_ = 0;
+  carry_fault_events_ = 0;
   cluster_ = nullptr;
   k_ = 0;
 }
@@ -201,7 +205,7 @@ void MetricsTimeline::write_json(std::FILE* out, const char* name) const {
                  "    {\"superstep\": %llu, \"rounds\": %llu, \"messages\": %llu, "
                  "\"local_messages\": %llu, \"bits\": %llu, \"cut_bits\": %llu, "
                  "\"link_max_bits\": %llu, \"handler_ns\": %llu, \"deliver_ns\": %llu, "
-                 "\"reduce_ns\": %llu, \"allocs\": %llu",
+                 "\"reduce_ns\": %llu, \"allocs\": %llu, \"fault_events\": %llu",
                  static_cast<unsigned long long>(r.superstep),
                  static_cast<unsigned long long>(r.rounds),
                  static_cast<unsigned long long>(r.messages),
@@ -212,7 +216,8 @@ void MetricsTimeline::write_json(std::FILE* out, const char* name) const {
                  static_cast<unsigned long long>(r.handler_ns),
                  static_cast<unsigned long long>(r.deliver_ns),
                  static_cast<unsigned long long>(r.reduce_ns),
-                 static_cast<unsigned long long>(r.allocs));
+                 static_cast<unsigned long long>(r.allocs),
+                 static_cast<unsigned long long>(r.fault_events));
     if (i < full_rows_) {
       const auto emit = [&](const char* key, std::span<const std::uint64_t> v) {
         std::fprintf(out, ", \"%s\": [", key);

@@ -71,6 +71,7 @@ class MetricsTimeline {
     std::uint64_t deliver_ns = 0;
     std::uint64_t reduce_ns = 0;
     std::uint64_t allocs = 0;
+    std::uint64_t fault_events = 0;  // injected faults (fault plane; else 0)
   };
 
   /// One (machine, bits) entry of a top-N traffic summary row.
@@ -93,6 +94,12 @@ class MetricsTimeline {
   /// construction. Called by Runtime::step after delivery.
   void on_superstep(const Cluster& cluster, std::uint64_t handler_ns,
                     std::uint64_t deliver_ns, std::uint64_t reduce_ns);
+
+  /// Bank fault-plane events for the current step; like free-superstep
+  /// phase time, they fold into the next *charged* row (a crash-only step
+  /// that delivers nothing surfaces on the following ledger row), so rows
+  /// still sum exactly to the final ledger with a fault schedule active.
+  void note_fault_events(std::uint64_t events) noexcept { carry_fault_events_ += events; }
 
   /// Pre-size every container for `supersteps` rows on a k-machine
   /// cluster, making subsequent recording allocation-free from row 0.
@@ -145,10 +152,12 @@ class MetricsTimeline {
     std::vector<std::uint64_t> sent, received;
   } prev_;
 
-  // Phase time / allocations of free supersteps, folded into the next row.
+  // Phase time / allocations of free supersteps (and banked fault events),
+  // folded into the next charged row.
   std::uint64_t carry_handler_ns_ = 0;
   std::uint64_t carry_deliver_ns_ = 0;
   std::uint64_t carry_reduce_ns_ = 0;
+  std::uint64_t carry_fault_events_ = 0;
 
   std::vector<Row> rows_;
   std::vector<std::uint64_t> traffic_;    // full rows: 2k words each (sent, recv)

@@ -21,6 +21,7 @@ const char* span_name(SpanKind kind) noexcept {
     case SpanKind::kHandler: return "handler";
     case SpanKind::kDeliver: return "deliver";
     case SpanKind::kReduce: return "reduce";
+    case SpanKind::kRecovery: return "recovery";
   }
   return "span";
 }
@@ -32,6 +33,7 @@ const char* span_category(SpanKind kind) noexcept {
     case SpanKind::kHandler: return "handler";
     case SpanKind::kDeliver:
     case SpanKind::kReduce: return "delivery";
+    case SpanKind::kRecovery: return "fault";
   }
   return "span";
 }
@@ -40,6 +42,7 @@ const char* span_arg_key(SpanKind kind) noexcept {
   switch (kind) {
     case SpanKind::kHandler: return "machine";
     case SpanKind::kDeliver: return "dst";
+    case SpanKind::kRecovery: return "victims";
     default: return nullptr;
   }
 }

@@ -11,6 +11,9 @@
 //               destination), or the whole Cluster::superstep() delivery
 //               on the sequential path
 //   kReduce     deliver_shards_finish — the deterministic ledger reduction
+//   kRecovery   the fault plane's crash-recovery work at the start of a
+//               step (checkpoint restore, replay, inbox retransmission),
+//               lane 0 (arg = number of crash victims)
 //
 // Spans land in per-lane ring buffers: lane 0 is the driving thread and
 // lane w (w >= 1) is ThreadPool worker w, so concurrent recording is
@@ -41,8 +44,9 @@ enum class SpanKind : std::uint8_t {
   kHandler,
   kDeliver,
   kReduce,
+  kRecovery,
 };
-inline constexpr std::size_t kSpanKinds = 5;
+inline constexpr std::size_t kSpanKinds = 6;
 
 struct TraceRecorderConfig {
   /// Per-worker ring buffers; lane indices at or above this fold into the

@@ -15,6 +15,7 @@
 
 #include "cluster/message.hpp"
 #include "runtime/outbox.hpp"
+#include "util/codec.hpp"
 
 namespace kmm {
 
@@ -31,6 +32,26 @@ class MachineProgram {
   /// driving thread (never concurrently with handlers). Programs driven
   /// manually by an external loop can leave the default.
   [[nodiscard]] virtual bool done() const { return false; }
+
+  // ----------------------------------------------------------------------
+  // Fault-plane hooks (porting recipe rule 8 in runtime.hpp). A program
+  // that overrides checkpointable() to true must implement snapshot() and
+  // restore() such that restore(m, words written by snapshot(m)) rebuilds
+  // machine m's state exactly — the fault plane checkpoints every C
+  // supersteps and, on an injected crash, restores the victim and replays
+  // its logged inboxes. Programs without snapshots may instead support
+  // reset() (restart-from-phase-start fallback, Runtime::run only).
+
+  /// True when snapshot()/restore() fully capture per-machine state.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  /// Serialize machine m's state; paired with restore(). Only called when
+  /// checkpointable() is true.
+  virtual void snapshot(MachineId /*m*/, WordWriter& /*out*/) {}
+  /// Rebuild machine m's state from a snapshot; must consume every word.
+  virtual void restore(MachineId /*m*/, WordReader& /*in*/) {}
+  /// Restart fallback: return true after resetting the whole program to
+  /// its phase start (all machines). Default: restart unsupported.
+  [[nodiscard]] virtual bool reset() { return false; }
 };
 
 }  // namespace kmm

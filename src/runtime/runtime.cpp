@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "fault/fault_plane.hpp"
 #include "obs/metrics_timeline.hpp"
 #include "obs/trace_recorder.hpp"
 #include "runtime/phase_timers.hpp"
@@ -29,13 +30,17 @@ unsigned resolve_threads(unsigned requested, MachineId k) {
 Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
     : cluster_(&cluster),
       threads_(resolve_threads(config.threads, cluster.k())),
-      sink_(config.obs != nullptr ? *config.obs : ObsSink{}) {
+      sink_(config.obs != nullptr ? *config.obs : ObsSink{}),
+      fault_(config.fault) {
   // Baseline the timeline before the first step so row 0's delta starts at
   // this Runtime's construction (idempotent across sequential Runtimes
   // reusing one sink on one cluster).
   if (sink_.timeline != nullptr) sink_.timeline->attach(*cluster_);
-  if (threads_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(threads_);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  // Shards exist whenever any step can run sharded: multi-threaded steps,
+  // or any step under an attached fault plane (transit emulation intercepts
+  // the shard buckets between the handler barrier and delivery).
+  if (threads_ > 1 || fault_ != nullptr) {
     shards_.resize(cluster_->k());
     for (auto& shard : shards_) shard.resize(cluster_->k());
   }
@@ -47,6 +52,11 @@ std::uint64_t Runtime::finish_step(StepMode mode, std::uint64_t handler_ns,
                                    std::uint64_t deliver_ns, std::uint64_t reduce_ns,
                                    std::uint64_t span_begin_ns, std::uint64_t rounds) {
   add_phase_times(handler_ns, deliver_ns, reduce_ns);
+  if (fault_ != nullptr && sink_.timeline != nullptr) {
+    // Bank this step's injected-fault count before the row is cut so a
+    // charged step's row carries its own fault events.
+    sink_.timeline->note_fault_events(fault_->take_step_events());
+  }
   if (sink_.timeline != nullptr) {
     sink_.timeline->on_superstep(*cluster_, handler_ns, deliver_ns, reduce_ns);
   }
@@ -56,6 +66,7 @@ std::uint64_t Runtime::finish_step(StepMode mode, std::uint64_t handler_ns,
                         mode == StepMode::kInline ? SpanKind::kInline : SpanKind::kSuperstep,
                         step_ordinal_, 0, span_begin_ns, sink_.trace->now_ns());
   }
+  if (fault_ != nullptr) fault_->end_step();
   ++step_ordinal_;
   return rounds;
 }
@@ -66,8 +77,19 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
   // Span timestamps must sit on the recorder's rebased clock; phase
   // durations are differences, so either clock serves them.
   const auto tick = [tr]() noexcept { return tr != nullptr ? tr->now_ns() : now_ns(); };
+  if (fault_ != nullptr) {
+    // Crash injection + rollback/replay happens before any handler runs, so
+    // the step below executes against fully recovered machine state.
+    const std::uint64_t rb = tick();
+    const std::size_t victims = fault_->begin_step(*cluster_, program);
+    if (victims > 0 && tr != nullptr) {
+      tr->record(0, SpanKind::kRecovery, step_ordinal_,
+                 static_cast<std::uint32_t>(victims), rb, tr->now_ns());
+    }
+  }
   const std::uint64_t t0 = tick();
-  if (pool_ == nullptr || mode == StepMode::kInline) {
+  const bool parallel = pool_ != nullptr && mode != StepMode::kInline;
+  if (fault_ == nullptr && !parallel) {
     // Sequential path: handlers write directly into the cluster outbox in
     // machine order — the legacy "for each machine, compute and send" loop.
     for (MachineId i = 0; i < k; ++i) {
@@ -85,27 +107,46 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
     if (tr != nullptr) tr->record(0, SpanKind::kDeliver, step_ordinal_, 0, t1, t2);
     return finish_step(mode, elapsed_ns(t0, t1), elapsed_ns(t1, t2), 0, t0, rounds);
   }
-  // Parallel path: every handler owns shard i; inboxes are read-only until
+  // Sharded path: every handler owns shard i; inboxes are read-only until
   // the barrier, after which the k per-destination delivery tasks move the
   // buckets straight into their inboxes — one move per message, no staging
-  // outbox — and the finish call reduces the ledger partials.
-  pool_->parallel_for(k, [&](std::size_t i) {
+  // outbox — and the finish call reduces the ledger partials. An attached
+  // fault plane forces this path even for sequential/kInline steps (the
+  // modes are observationally identical) so link-fault emulation can
+  // intercept the buckets between the handler barrier and delivery.
+  const std::uint64_t deadline_ns =
+      fault_ != nullptr ? fault_->handler_deadline_ns() : 0;
+  const auto run_handler = [&](std::size_t i) {
     const auto self = static_cast<MachineId>(i);
     const std::uint64_t hb = tr != nullptr ? tr->now_ns() : 0;
     shards_[i].clear();  // buckets and arena capacity retained from last step
     Outbox out(shards_[i], self, k);
+    const std::uint64_t wb = deadline_ns != 0 ? now_ns() : 0;
     program.on_superstep(self, cluster_->inbox(self), out);
+    if (deadline_ns != 0 && now_ns() - wb > deadline_ns) {
+      // Wall-clock watchdog: diagnostic only — never touches the ledger
+      // (simulated hangs are injected deterministically via
+      // FaultSchedule::add_hang instead).
+      fault_->note_deadline_overrun();
+    }
     if (tr != nullptr) {
       tr->record(ThreadPool::current_lane(), SpanKind::kHandler, step_ordinal_, self, hb,
                  tr->now_ns());
     }
-  });
+  };
+  if (parallel) {
+    pool_->parallel_for(k, run_handler);
+  } else {
+    for (MachineId i = 0; i < k; ++i) run_handler(i);
+  }
   const std::uint64_t t1 = tick();
   if (cluster_->has_staged()) {
     // Rare fallback: direct Cluster::send() calls were staged between
     // steps. Merge the shards behind them in (source, destination) order —
     // per-inbox order equals the sequential path's — and deliver through
-    // the legacy single-pass accounting.
+    // the legacy single-pass accounting. Link-fault emulation is skipped
+    // here: staged sends bypass the shard plane, so fault schedules are
+    // only honored on the direct delivery path (all src/core/ algorithms).
     for (MachineId src = 0; src < k; ++src) {
       for (MachineId dst = 0; dst < k; ++dst) {
         cluster_->enqueue_batch(std::move(shards_[src].buckets[dst]));
@@ -116,15 +157,27 @@ std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
     if (tr != nullptr) tr->record(0, SpanKind::kDeliver, step_ordinal_, 0, t1, t2);
     return finish_step(mode, elapsed_ns(t0, t1), elapsed_ns(t1, t2), 0, t0, rounds);
   }
+  if (fault_ != nullptr) {
+    // Transit emulation: drops/duplicates burn bandwidth, reorders shuffle
+    // within a link, corruptions flip payload bits — then the retransmit
+    // protocol (per-link sequence numbers + dedup) restores the exact
+    // fault-free inbox contents before delivery.
+    fault_->apply_link_faults(*cluster_, shards_);
+  }
   cluster_->deliver_shards_begin(shards_);
-  pool_->parallel_for(k, [&](std::size_t i) {
+  const auto run_delivery = [&](std::size_t i) {
     const std::uint64_t db = tr != nullptr ? tr->now_ns() : 0;
     cluster_->deliver_shard_to(static_cast<MachineId>(i));
     if (tr != nullptr) {
       tr->record(ThreadPool::current_lane(), SpanKind::kDeliver, step_ordinal_,
                  static_cast<std::uint32_t>(i), db, tr->now_ns());
     }
-  });
+  };
+  if (parallel) {
+    pool_->parallel_for(k, run_delivery);
+  } else {
+    for (MachineId i = 0; i < k; ++i) run_delivery(i);
+  }
   const std::uint64_t t2 = tick();
   const std::uint64_t rounds = cluster_->deliver_shards_finish();
   const std::uint64_t t3 = tick();
@@ -137,6 +190,12 @@ std::uint64_t Runtime::run(MachineProgram& program, std::uint64_t max_supersteps
   std::uint64_t rounds = 0;
   for (std::uint64_t s = 0; s < max_supersteps; ++s) {
     if (program.done()) return rounds;
+    if (fault_ != nullptr) {
+      // Restart-fallback recovery for programs with neither checkpoints nor
+      // state hooks: a crash resets the whole program to superstep 0
+      // (porting recipe rule 8c). No-op for recoverable programs.
+      rounds += fault_->maybe_restart(*cluster_, program);
+    }
     rounds += step(program);
   }
   KMM_CHECK_MSG(program.done(), "program exhausted its superstep budget");

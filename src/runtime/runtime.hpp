@@ -84,6 +84,28 @@
 //      sinks' output mid-run (rows and rings reallocate/wrap). Analytic
 //      Cluster::charge_rounds() between steps is fine — the timeline folds
 //      the charge into the next recorded row.
+//   8. To survive the fault plane (RuntimeConfig::fault, src/fault/), a
+//      program must be recoverable in one of three ways, preferred first:
+//      (a) a persistent MachineProgram overrides checkpointable() -> true
+//          plus snapshot(m, WordWriter&)/restore(m, WordReader&) such that
+//          restore rebuilds machine m's state *exactly* from the words
+//          snapshot wrote (and consumes all of them) — the plane then
+//          checkpoints every C steps and replays crashed machines through
+//          their logged inboxes; serialize everything a handler reads
+//          across steps, and nothing that is rebuilt within one step
+//          (scratch buffers, per-step accumulators);
+//      (b) lambda-driven engines register FaultPlane state hooks for the
+//          run (StateHookScope, see flooding_connectivity) with the same
+//          snapshot/restore contract per machine;
+//      (c) programs with neither implement reset() -> true (drop all state,
+//          restart the phase from its first superstep) and are driven by
+//          Runtime::run — the restart fallback; correct but pays the whole
+//          phase again per crash.
+//      A crash injected into a program that offers none of the three aborts
+//      with a pointer to this rule. Monotone one-way shared flags (e.g. the
+//      Borůvka engine's finished_ bits) may be treated as replicated stable
+//      storage and left out of snapshots; anything a machine could observe
+//      at two different values across a rollback must be serialized.
 //
 // Because the handler order in sequential mode and the shard-merge order in
 // parallel mode are both ascending machine order, a ported algorithm's sends
@@ -108,6 +130,8 @@
 
 namespace kmm {
 
+class FaultPlane;
+
 struct RuntimeConfig {
   /// Worker threads for per-machine local computation. 1 = sequential,
   /// 0 = std::thread::hardware_concurrency(), clamped to the cluster's k.
@@ -117,6 +141,14 @@ struct RuntimeConfig {
   /// sinks are borrowed — the caller keeps them alive for the Runtime's
   /// lifetime. See src/obs/obs_sink.hpp for the contract.
   const ObsSink* obs = nullptr;
+  /// Optional fault-injection & recovery plane (src/fault/fault_plane.hpp);
+  /// null (the default) is bit-identical to a build without the plane.
+  /// Borrowed like the obs sinks. When attached, every step runs through
+  /// the sharded outboxes (even sequential/kInline ones) so transit faults
+  /// can be emulated uniformly — observationally identical by the delivery
+  /// plane's contract, so a detached-vs-attached ledger only differs by the
+  /// schedule's injected faults.
+  FaultPlane* fault = nullptr;
 };
 
 /// The thread-count resolution every Runtime applies: 0 expands to
@@ -204,6 +236,7 @@ class Runtime {
   Cluster* cluster_;
   unsigned threads_;
   ObsSink sink_;                      // copied from config; empty = record nothing
+  FaultPlane* fault_;                 // borrowed; null = plane detached
   std::uint64_t step_ordinal_ = 0;    // steps driven by this Runtime (incl. free)
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   std::vector<OutboxShard> shards_;   // per-source buffers + arenas, reused

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal Expected<T, E>: a structured success-or-error return for library
+// paths that used to hard-abort (KMM_CHECK_MSG with a diagnostic string).
+//
+// Not a std::expected polyfill — only the shape the library needs: construct
+// from a value or from err(E), query ok(), and move the value out. Accessing
+// the wrong side is a programming error and still aborts via KMM_CHECK, so
+// callers that ignore errors fail loudly instead of reading garbage; CLIs
+// that want the old nonzero-exit behaviour print error().message themselves.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace kmm {
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+
+  [[nodiscard]] static Expected err(E error) {
+    return Expected(std::in_place_index<1>, std::move(error));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return state_.index() == 0; }
+
+  [[nodiscard]] T& value() & {
+    KMM_CHECK_MSG(ok(), "Expected::value() called on an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    KMM_CHECK_MSG(ok(), "Expected::value() called on an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    KMM_CHECK_MSG(ok(), "Expected::value() called on an error");
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    KMM_CHECK_MSG(!ok(), "Expected::error() called on a value");
+    return std::get<1>(state_);
+  }
+
+ private:
+  template <std::size_t I, typename V>
+  Expected(std::in_place_index_t<I> tag, V&& v) : state_(tag, std::forward<V>(v)) {}
+
+  std::variant<T, E> state_;
+};
+
+/// Error payload of the ingest pipeline (stream_ingest and the memory
+/// budget): a human-readable diagnostic the CLI can print verbatim.
+struct IngestError {
+  std::string message;
+};
+
+}  // namespace kmm

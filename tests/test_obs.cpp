@@ -132,6 +132,57 @@ TEST(ObsPlane, SequentialRuntimesConcatenateOnOneTimeline) {
   EXPECT_EQ(total.messages, s.messages);
 }
 
+TEST(ObsPlane, TimelineDecomposesLedgerWithFaultScheduleActive) {
+  // With the fault plane injecting crashes and lossy links, the timeline
+  // must still be a lossless decomposition of the final ledger: recovery
+  // stalls and retransmit overhead (charge_rounds between steps) fold into
+  // charged rows, replayed supersteps never produce extra rows, and the
+  // fault_events column accounts for every injected fault.
+  const Graph g = test_graph();
+  const std::size_t n = g.num_vertices();
+  const MachineId k = 8;
+
+  FaultSchedule sched(11, FaultProfile::named("lossy"));
+  sched.add_crash(2, 3);
+  sched.add_crash(6, 5);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    Cluster cluster(ClusterConfig::for_graph(n, k));
+    const DistributedGraph dg(g, VertexPartition::random(n, k, 7));
+    MetricsTimeline timeline(full_res());
+    const ObsSink sink{&timeline, nullptr};
+    FaultPlane plane(sched);
+
+    BoruvkaConfig cfg;
+    cfg.seed = 99;
+    cfg.threads = threads;
+    cfg.obs = &sink;
+    cfg.fault = &plane;
+    const auto res = connected_components(cluster, dg, cfg);
+    EXPECT_TRUE(res.converged);
+    const FaultStats fs = plane.stats();
+    ASSERT_EQ(fs.crashes, 2u) << "threads=" << threads;
+    ASSERT_GT(fs.drops + fs.duplicates + fs.reorders, 0u);
+
+    const ClusterStats& s = cluster.stats();
+    ASSERT_EQ(timeline.size(), s.supersteps) << "threads=" << threads;
+    const auto total = timeline.totals();
+    EXPECT_EQ(total.rounds, s.rounds) << "threads=" << threads;
+    EXPECT_EQ(total.messages, s.messages) << "threads=" << threads;
+    EXPECT_EQ(total.bits, s.total_bits) << "threads=" << threads;
+
+    // Every injected fault lands in exactly one row's fault_events column.
+    std::uint64_t row_events = 0;
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      row_events += timeline.row(i).fault_events;
+    }
+    EXPECT_EQ(row_events, total.fault_events);
+    EXPECT_EQ(total.fault_events, fs.crashes + fs.drops + fs.duplicates + fs.reorders +
+                                      fs.corruptions);
+    EXPECT_GT(total.fault_events, 0u);
+  }
+}
+
 // ---------------------------------------------- observation changes nothing
 
 TEST(ObsPlane, LedgerIsBitIdenticalWithAndWithoutSinks) {

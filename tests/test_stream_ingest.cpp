@@ -1,8 +1,9 @@
 // Shard-direct streaming ingest (cluster/stream_ingest.hpp): the built
 // shards must be bit-identical to the materialized Graph -> partition path
 // for every thread count and ingest chunk size, the unweighted tier must
-// elide the weight arrays, and the per-machine memory budget must hard-fail
-// with its diagnostic.
+// elide the weight arrays, and resource exhaustion (budget overflow or a
+// scheduled fault-plane allocation failure) must surface as a structured
+// Expected error carrying its diagnostic.
 
 #include <gtest/gtest.h>
 
@@ -60,7 +61,7 @@ TEST(StreamIngest, PathMatchesMaterializedAcrossChunkSizesAndThreads) {
       StreamIngestOptions opts;
       opts.threads = threads;
       const DistributedGraph dg =
-          stream_ingest(n, part, gen::edge_list_stream(edges, chunk), opts);
+          stream_ingest(n, part, gen::edge_list_stream(edges, chunk), opts).value();
       EXPECT_FALSE(dg.materialized());
       expect_bit_identical(reference, dg);
     }
@@ -83,7 +84,7 @@ TEST(StreamIngest, GnmMatchesMaterializedAcrossChunkSizesAndThreads) {
       StreamIngestOptions opts;
       opts.threads = threads;
       const DistributedGraph dg =
-          stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts);
+          stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts).value();
       expect_bit_identical(reference, dg);
     }
   }
@@ -105,7 +106,7 @@ TEST(StreamIngest, RmatMatchesMaterializedAcrossChunkSizesAndThreads) {
       StreamIngestOptions opts;
       opts.threads = threads;
       const DistributedGraph dg =
-          stream_ingest(n, part, gen::rmat_stream_source(n, m, cfg), opts);
+          stream_ingest(n, part, gen::rmat_stream_source(n, m, cfg), opts).value();
       expect_bit_identical(reference, dg);
     }
   }
@@ -122,7 +123,7 @@ TEST(StreamIngest, WeightedGnmCarriesPrfWeights) {
   StreamIngestOptions opts;
   opts.threads = 2;
   const DistributedGraph dg =
-      stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts);
+      stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts).value();
   expect_bit_identical(reference, dg);
 }
 
@@ -132,7 +133,8 @@ TEST(StreamIngest, UnweightedShardsElideWeightArrays) {
   cfg.seed = 21;
   const VertexPartition part = VertexPartition::random(n, 8, 9);
   const DistributedGraph dg =
-      stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), StreamIngestOptions{});
+      stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), StreamIngestOptions{})
+          .value();
   // 4 bytes per half-edge: the SoA win that makes the n >= 10^8 tier fit.
   std::size_t total = 0;
   for (MachineId i = 0; i < dg.machines(); ++i) total += dg.shard_bytes(i);
@@ -160,7 +162,7 @@ TEST(StreamIngest, LedgerAndLabelsMatchMaterializedBackend) {
     StreamIngestOptions opts;
     opts.threads = threads;
     const DistributedGraph dg =
-        stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts);
+        stream_ingest(n, part, gen::gnm_stream_source(n, m, cfg), opts).value();
     Cluster c2(ClusterConfig::for_graph(n, 8));
     const auto run = connected_components(c2, dg, bcfg);
     EXPECT_EQ(run.num_components, ref_run.num_components);
@@ -171,21 +173,43 @@ TEST(StreamIngest, LedgerAndLabelsMatchMaterializedBackend) {
   }
 }
 
-TEST(StreamIngestDeathTest, BudgetOverflowFiresDiagnostic) {
+TEST(StreamIngest, BudgetOverflowReturnsStructuredError) {
+  // Resource exhaustion is an Expected error (callers can retry with a bigger
+  // budget or more machines), not an abort — only contract violations die.
   const std::size_t n = 1000;
   const auto edges = path_edges(n);
   StreamIngestOptions opts;
   opts.budget.bytes_per_machine = 64;  // a 4-machine path shard needs ~KBs
-  EXPECT_DEATH((void)stream_ingest(n, VertexPartition::random(n, 4, 7),
-                                   gen::edge_list_stream(edges), opts),
-               "per-machine memory budget");
+  const auto r = stream_ingest(n, VertexPartition::random(n, 4, 7),
+                               gen::edge_list_stream(edges), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("per-machine memory budget"), std::string::npos)
+      << r.error().message;
+}
+
+TEST(StreamIngest, ScheduledAllocFailureReturnsStructuredError) {
+  // The fault plane's ingest hook: a scheduled allocation failure at one
+  // machine surfaces as the same structured error channel as the budget.
+  const std::size_t n = 600;
+  const auto edges = path_edges(n);
+  FaultSchedule sched(7, FaultProfile{});
+  sched.add_ingest_alloc_failure(2);
+  StreamIngestOptions opts;
+  opts.fault = &sched;
+  const auto r = stream_ingest(n, VertexPartition::random(n, 4, 7),
+                               gen::edge_list_stream(edges), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("simulated allocation failure"), std::string::npos)
+      << r.error().message;
+  EXPECT_NE(r.error().message.find("machine 2"), std::string::npos) << r.error().message;
 }
 
 TEST(StreamIngestDeathTest, ShardBackendHasNoGlobalGraph) {
   const std::size_t n = 600;
   const auto edges = path_edges(n);
   const DistributedGraph dg = stream_ingest(n, VertexPartition::random(n, 4, 7),
-                                            gen::edge_list_stream(edges), {});
+                                            gen::edge_list_stream(edges), {})
+                                  .value();
   EXPECT_FALSE(dg.materialized());
   EXPECT_DEATH((void)dg.graph(), "never materializes the global graph");
 }
