@@ -25,6 +25,12 @@ Two input shapes are accepted:
 Stdlib only; tolerant of missing benches (aggregates whatever is present)
 but fails loudly on malformed JSON so CI can't silently upload a truncated
 trajectory.
+
+Serving gate: when the serving bench is present, its cancellation latency
+must respect the cooperative-cancellation contract — a client cancel lands
+at the next superstep boundary, so cancel p95 may not exceed one worst-case
+superstep's wall time (plus a scheduler-noise floor for loaded CI runners).
+A violation fails the aggregation (exit 1).
 """
 
 import argparse
@@ -32,6 +38,37 @@ import glob
 import json
 import os
 import sys
+
+# Scheduler/sleep noise allowance on top of one worst-case superstep: the
+# cancelled executor still has to wake, unwind, and resolve the ticket, and
+# loaded CI runners add preemption jitter that has nothing to do with the
+# cancellation design.
+CANCEL_GATE_FLOOR_US = 5000.0
+
+
+def check_serving_gate(benches: dict) -> bool:
+    """Cancellation latency <= 1 worst-case superstep (p95) — see module doc."""
+    serving = benches.get("serving")
+    if serving is None:
+        return True
+    ok = True
+    for record in serving.get("records", []):
+        if record.get("family") != "serving_cancel":
+            continue
+        cancel_p95 = float(record.get("cancel_p95_us", 0.0))
+        superstep_max = float(record.get("superstep_max_us", 0.0))
+        bound = superstep_max + CANCEL_GATE_FLOOR_US
+        verdict = "ok" if cancel_p95 <= bound else "VIOLATION"
+        print(f"  serving cancel gate: cancel_p95={cancel_p95:.0f}us <= "
+              f"superstep_max={superstep_max:.0f}us + floor={CANCEL_GATE_FLOOR_US:.0f}us"
+              f" -> {verdict}")
+        if cancel_p95 > bound:
+            ok = False
+    if not ok:
+        print("aggregate_bench: serving cancellation-latency gate failed — a "
+              "cancel took more than one worst-case superstep to land",
+              file=sys.stderr)
+    return ok
 
 
 def main() -> int:
@@ -69,11 +106,13 @@ def main() -> int:
         total_records += len(records)
         print(f"  {os.path.basename(path)}: {len(records)} records")
 
+    gate_ok = check_serving_gate(benches)
+
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump({"benches": benches}, f, indent=2)
         f.write("\n")
     print(f"wrote {out_path} ({len(benches)} benches, {total_records} records)")
-    return 0
+    return 0 if gate_ok else 1
 
 
 if __name__ == "__main__":

@@ -5,6 +5,9 @@
 // (per-superstep metrics timeline JSON, aggregate_bench.py-ingestible) and
 // `--trace-out FILE` (Chrome trace-event JSON for chrome://tracing /
 // Perfetto). Both flags accept `--flag FILE` and `--flag=FILE`.
+// The serving-layer examples add `--serve` (boolean), `--deadline-ms MS`
+// (per-query wall deadline; 0 = unlimited) and `--max-inflight N` (executor
+// threads = in-flight query bound; must be positive).
 // kmachine_cli has a richer flag set and keeps its own parser, but reuses
 // ObsScope below.
 //
@@ -75,6 +78,11 @@ struct ExampleArgs {
   unsigned threads = 1;
   const char* metrics_out = nullptr;  // per-superstep timeline JSON
   const char* trace_out = nullptr;    // Chrome trace-event JSON
+  // Serving-layer flags (graph_query_server; kmachine_cli --serve has its
+  // own parser with the same names/semantics).
+  bool serve = false;            // run the query-serving demo loop
+  std::uint64_t deadline_ms = 0;  // per-query wall deadline; 0 = unlimited
+  unsigned max_inflight = 0;      // executor threads / in-flight bound; 0 = default
   std::vector<const char*> pos;
 
   /// pos[i] as an integer, or `fallback` when absent. Strict: trailing
@@ -169,6 +177,7 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
     seen = true;
   };
   bool seen_threads = false, seen_metrics = false, seen_trace = false;
+  bool seen_serve = false, seen_deadline = false, seen_inflight = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* value = flag_value(i, "--threads")) {
       once(seen_threads, "--threads");
@@ -181,9 +190,21 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
     } else if (const char* trace = flag_value(i, "--trace-out")) {
       once(seen_trace, "--trace-out");
       args.trace_out = trace;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      once(seen_serve, "--serve");
+      args.serve = true;
+    } else if (const char* deadline = flag_value(i, "--deadline-ms")) {
+      once(seen_deadline, "--deadline-ms");
+      args.deadline_ms = require_u64("--deadline-ms", deadline);
+    } else if (const char* inflight = flag_value(i, "--max-inflight")) {
+      once(seen_inflight, "--max-inflight");
+      args.max_inflight =
+          static_cast<unsigned>(require_positive_u64("--max-inflight", inflight));
     } else if (std::strcmp(argv[i], "--threads") == 0 ||
                std::strcmp(argv[i], "--metrics-out") == 0 ||
-               std::strcmp(argv[i], "--trace-out") == 0) {
+               std::strcmp(argv[i], "--trace-out") == 0 ||
+               std::strcmp(argv[i], "--deadline-ms") == 0 ||
+               std::strcmp(argv[i], "--max-inflight") == 0) {
       // Valueless trailing flag: already reported by flag_value returning
       // null with i at argc - 1; skip it.
     } else {

@@ -1,0 +1,155 @@
+// Scenario: a long-lived graph analytics service.
+//
+// A social-network-shaped graph is loaded ONCE into a DistributedGraph and
+// then answers a mixed concurrent workload — connectivity, MST, approximate
+// min-cut, 2-edge-connectivity, the baselines, and all eight Theorem 4
+// verification problems — through the resilient serving layer:
+//
+//   * every query carries a budget (wall deadline / superstep cap / ledger
+//     bits) and unwinds cooperatively at a superstep boundary when it blows
+//     one — a structured error, never an abort;
+//   * clients can cancel an in-flight query from another thread;
+//   * chaos mode arms seeded lethal crashes against live queries, and the
+//     deterministic retry policy re-runs the kill on a fresh cluster — the
+//     surviving attempt's answer and ledger are bit-identical to a run
+//     nobody disturbed.
+//
+//   ./graph_query_server [n] [k] [--threads T] [--max-inflight W]
+//                        [--deadline-ms MS]
+
+#include <cstdio>
+
+#include "example_args.hpp"
+#include "kmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kmm;
+  const auto args = kmmex::parse_example_args(argc, argv);
+  const std::size_t n = args.pos_u64(0, 512);
+  const MachineId k = static_cast<MachineId>(args.pos_u64(1, 8));
+  kmmex::require_machines(k, n, "positional #2");
+
+  Rng rng(7);
+  const Graph g = gen::planted_communities(n, 8, 0.04, 3, rng);
+  const DistributedGraph dg(g, VertexPartition::random(n, k, 11));
+  std::printf("service graph: n=%zu m=%zu over k=%u machines\n\n", n, g.num_edges(), k);
+
+  ServiceConfig cfg;
+  cfg.k = k;
+  cfg.workers = args.max_inflight != 0 ? args.max_inflight : 4;
+  cfg.query_threads = args.threads;
+  cfg.default_budget.deadline_ms = args.deadline_ms;
+
+  // ---- 1. One of every query kind, in flight concurrently -----------------
+  {
+    ClusterService service(dg, cfg);
+    const Vertex ex = g.edges().front().u, ey = g.edges().front().v;
+    std::vector<std::pair<Vertex, Vertex>> sub;
+    for (std::size_t i = 0; i < g.edges().size() && i < 6; ++i) {
+      sub.emplace_back(g.edges()[i].u, g.edges()[i].v);
+    }
+    const QueryKind kinds[] = {
+        QueryKind::kConnectivity,         QueryKind::kMst,
+        QueryKind::kMinCut,               QueryKind::kTwoEdge,
+        QueryKind::kFlooding,             QueryKind::kRefereeConnectivity,
+        QueryKind::kLeaderElection,       QueryKind::kVerifySpanningSubgraph,
+        QueryKind::kVerifyCut,            QueryKind::kVerifyStConnectivity,
+        QueryKind::kVerifyEdgeOnAllPaths, QueryKind::kVerifyStCut,
+        QueryKind::kVerifyCycle,          QueryKind::kVerifyECycle,
+        QueryKind::kVerifyBipartite,
+    };
+    std::vector<std::shared_ptr<QueryTicket>> tickets;
+    for (const QueryKind kind : kinds) {
+      QueryRequest req;
+      req.kind = kind;
+      req.seed = split(3, static_cast<std::uint64_t>(kind));
+      req.s = 0;
+      req.t = static_cast<Vertex>(n - 1);
+      req.x = ex;
+      req.y = ey;
+      if (kind == QueryKind::kVerifySpanningSubgraph || kind == QueryKind::kVerifyCut ||
+          kind == QueryKind::kVerifyStCut) {
+        req.edges = sub;
+      }
+      tickets.push_back(service.submit(std::move(req)));
+    }
+    std::printf("mixed workload (%zu kinds, %u in flight):\n", std::size(kinds),
+                cfg.workers);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const QueryOutcome& outcome = tickets[i]->wait();
+      if (outcome.ok()) {
+        const QueryResult& r = outcome.value();
+        std::printf("  %-26s value=%-8llu verdict=%-3s rounds=%llu\n",
+                    query_kind_name(kinds[i]), static_cast<unsigned long long>(r.value),
+                    r.verdict ? "yes" : "no",
+                    static_cast<unsigned long long>(r.ledger.rounds));
+      } else {
+        std::printf("  %-26s error=%s\n", query_kind_name(kinds[i]),
+                    query_error_name(outcome.error().code));
+      }
+    }
+  }
+
+  // ---- 2. Budgets and client-side cancellation ----------------------------
+  {
+    ClusterService service(dg, cfg);
+    QueryRequest capped;
+    capped.kind = QueryKind::kMinCut;
+    capped.budget.max_supersteps = 3;  // far below what mincut needs
+    const QueryOutcome budget_hit = service.run_query(capped);
+    std::printf("\nbudgeted mincut (3 supersteps): %s\n",
+                budget_hit.ok() ? "completed (graph tiny enough)"
+                                : query_error_name(budget_hit.error().code));
+
+    QueryRequest slow;
+    slow.kind = QueryKind::kMinCut;
+    const auto ticket = service.submit(std::move(slow));
+    ticket->cancel();  // client walks away; query unwinds at next boundary
+    const QueryOutcome& cancelled = ticket->wait();
+    std::printf("cancelled mincut: %s\n",
+                cancelled.ok() ? "completed before the cancel landed"
+                               : query_error_name(cancelled.error().code));
+  }
+
+  // ---- 3. Chaos: lethal crashes + deterministic retry ---------------------
+  {
+    ServiceConfig chaos_cfg = cfg;
+    chaos_cfg.chaos.kill_prob = 0.5;
+    chaos_cfg.chaos.seed = 41;
+    ClusterService chaos_service(dg, chaos_cfg);
+    ClusterService calm_service(dg, cfg);
+
+    std::printf("\nchaos (kill_prob=0.5): 6 connectivity queries\n");
+    for (int q = 0; q < 6; ++q) {
+      QueryRequest req;
+      req.kind = QueryKind::kConnectivity;
+      req.seed = split(101, static_cast<std::uint64_t>(q));
+      const QueryOutcome noisy = chaos_service.run_query(req);
+      const QueryOutcome calm = calm_service.run_query(req);
+      if (noisy.ok()) {
+        const bool identical = calm.ok() &&
+                               calm.value().value == noisy.value().value &&
+                               calm.value().ledger.total_bits == noisy.value().ledger.total_bits;
+        std::printf("  query %d: components=%llu attempts=%u backoff=%lluus  "
+                    "vs undisturbed: %s\n",
+                    q, static_cast<unsigned long long>(noisy.value().value),
+                    noisy.value().attempts,
+                    static_cast<unsigned long long>(noisy.value().backoff_us),
+                    identical ? "bit-identical ledger" : "MISMATCH");
+      } else {
+        std::printf("  query %d: %s after %u attempts (structured, no abort)\n", q,
+                    query_error_name(noisy.error().code), noisy.error().attempts);
+      }
+    }
+    const ServiceStats s = chaos_service.stats();
+    std::printf("chaos service: attempts=%llu kills=%llu retries=%llu\n",
+                static_cast<unsigned long long>(s.attempts),
+                static_cast<unsigned long long>(s.kills),
+                static_cast<unsigned long long>(s.retries));
+  }
+
+  std::printf("\nEvery outcome above — success, blown budget, client cancel, or a\n"
+              "crash-riddled retry — came back as structured data from a service\n"
+              "that never restarted and never aborted.\n");
+  return 0;
+}

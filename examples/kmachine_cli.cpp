@@ -74,6 +74,14 @@ struct Options {
   bool coordinator = false;
   bool coinflip = false;
   bool verify = true;
+  // --serve mode: load the graph once, run a mixed concurrent query
+  // workload through ClusterService, print structured outcomes.
+  bool serve = false;
+  std::size_t queries = 24;       // workload size (cycles through all kinds)
+  unsigned max_inflight = 4;      // executor threads = in-flight bound
+  std::size_t max_queue = 64;     // admission queue bound
+  std::uint64_t deadline_ms = 0;  // default per-query wall deadline (0 = off)
+  std::string query_log;          // per-query outcome JSON ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -87,7 +95,17 @@ struct Options {
                "          [--stream-ingest] [--mem-budget BYTES]\n"
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--fault-profile none|crashes|lossy|corrupt|chaos]\n"
-               "          [--fault-seed S] [--checkpoint-every C]\n",
+               "          [--fault-seed S] [--checkpoint-every C]\n"
+               "          [--serve] [--queries Q] [--max-inflight W] [--max-queue B]\n"
+               "          [--deadline-ms MS] [--query-log FILE]\n"
+               "\n"
+               "  --serve loads the graph once and runs a mixed concurrent query\n"
+               "  workload (all kinds, cycling) through the resilient serving layer:\n"
+               "  per-query deadlines/budgets, cooperative cancellation, admission\n"
+               "  shedding, and — with --fault-profile crashes|chaos — seeded lethal\n"
+               "  chaos with deterministic retry/backoff. Query #1 is a guaranteed\n"
+               "  over-budget probe demonstrating a structured timeout. Outcomes are\n"
+               "  always structured (exit 0); --query-log writes them as JSON.\n",
                argv0);
   std::exit(2);
 }
@@ -105,14 +123,23 @@ Options parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Boolean flags go through set_kv too, so repeating one is rejected
+    // exactly like a repeated value flag.
     if (arg == "--coordinator") {
+      set_kv("coordinator", "");
       opt.coordinator = true;
     } else if (arg == "--coinflip") {
+      set_kv("coinflip", "");
       opt.coinflip = true;
     } else if (arg == "--no-verify") {
+      set_kv("no-verify", "");
       opt.verify = false;
     } else if (arg == "--stream-ingest") {
+      set_kv("stream-ingest", "");
       opt.stream_ingest = true;
+    } else if (arg == "--serve") {
+      set_kv("serve", "");
+      opt.serve = true;
     } else if (arg.rfind("--", 0) == 0 && arg.find('=') != std::string::npos) {
       const std::size_t eq = arg.find('=');
       set_kv(arg.substr(2, eq - 2), arg.substr(eq + 1));
@@ -158,6 +185,11 @@ Options parse(int argc, char** argv) {
   opt.fault_seed = get_u64("fault-seed", opt.fault_seed);
   opt.checkpoint_every =
       static_cast<unsigned>(get_positive_u64("checkpoint-every", opt.checkpoint_every));
+  opt.queries = get_positive_u64("queries", opt.queries);
+  opt.max_inflight = static_cast<unsigned>(get_positive_u64("max-inflight", opt.max_inflight));
+  opt.max_queue = get_positive_u64("max-queue", opt.max_queue);
+  opt.deadline_ms = get_u64("deadline-ms", opt.deadline_ms);
+  if (kv.count("query-log")) opt.query_log = kv["query-log"];
   if (kv.count("fault-profile")) opt.fault_profile = kv["fault-profile"];
   if (FaultProfile::find(opt.fault_profile) == nullptr) {
     std::fprintf(stderr,
@@ -184,15 +216,18 @@ Graph load_edge_list(const std::string& path) {
     std::uint64_t u = 0, v = 0, w = 1;
     if (!(ls >> u >> v)) continue;
     ls >> w;  // optional weight
-    if (u == v) continue;
     edges.push_back(WeightedEdge{static_cast<Vertex>(u), static_cast<Vertex>(v),
                                  static_cast<Weight>(w)});
     max_vertex = std::max({max_vertex, static_cast<Vertex>(u), static_cast<Vertex>(v)});
   }
-  // Deduplicate (keep the first occurrence of each undirected edge).
-  GraphBuilder b(static_cast<std::size_t>(max_vertex) + 1);
-  for (const auto& e : edges) b.add_edge(e.u, e.v, e.w);
-  return b.build();
+  // Strict: a malformed file (self-loop, duplicate undirected edge) exits
+  // with the factory's diagnostic rather than being silently repaired.
+  auto made = Graph::make(static_cast<std::size_t>(max_vertex) + 1, std::move(edges));
+  if (!made.ok()) {
+    std::fprintf(stderr, "error: '%s': %s\n", path.c_str(), made.error().message.c_str());
+    std::exit(2);
+  }
+  return std::move(made).value();
 }
 
 Graph make_graph(const Options& opt) {
@@ -354,10 +389,145 @@ int run_stream(const Options& opt) {
   return 0;
 }
 
+/// The --serve path: one long-lived DistributedGraph, a mixed concurrent
+/// query workload cycling through every QueryKind, structured outcomes only.
+/// Query #1 is a deliberately over-budget probe (1 ms deadline, two-superstep
+/// cap) demonstrating that a blown budget is a clean error, not an abort.
+int run_serve(const Options& opt) {
+  const Graph g = make_graph(opt);
+  const std::size_t n = g.num_vertices();
+  kmmex::require_machines(opt.k, n, "--k");
+  const DistributedGraph dg(g, VertexPartition::random(n, opt.k, split(opt.seed, 0x9a97)));
+
+  ServiceConfig scfg;
+  scfg.k = opt.k;
+  scfg.bandwidth_bits = opt.bandwidth;
+  scfg.workers = opt.max_inflight;
+  scfg.max_queue = opt.max_queue;
+  scfg.query_threads = opt.threads;
+  scfg.default_budget.deadline_ms = opt.deadline_ms;
+  if (opt.fault_profile != "none") {
+    // Chaos mode: the profile's link-fault rates ride along unchanged; its
+    // crash stream is replaced by the service's one-kill-draw-per-attempt
+    // model (kill_prob), which is what lets retries converge.
+    const FaultProfile profile = *FaultProfile::find(opt.fault_profile);
+    scfg.chaos.profile = profile;
+    scfg.chaos.kill_prob = profile.crash_prob > 0.0 ? 0.3 : 0.0;
+    scfg.chaos.seed = opt.fault_seed;
+  }
+
+  std::printf("serve: graph=%s n=%zu m=%zu | k=%u workers=%u queue<=%zu deadline=%llums\n",
+              opt.graph.c_str(), n, g.num_edges(), opt.k, scfg.workers, scfg.max_queue,
+              static_cast<unsigned long long>(opt.deadline_ms));
+  if (opt.fault_profile != "none") {
+    std::printf("serve: chaos profile=%s kill_prob=%.2f seed=%llu\n",
+                opt.fault_profile.c_str(), scfg.chaos.kill_prob,
+                static_cast<unsigned long long>(opt.fault_seed));
+  }
+
+  ClusterService service(dg, scfg);
+
+  // Operands for the verifier kinds, drawn from the graph itself so they
+  // validate (an edgeless graph degrades to structured kInvalidArgument).
+  Vertex ex = 0, ey = 0;
+  if (!g.edges().empty()) {
+    ex = g.edges().front().u;
+    ey = g.edges().front().v;
+  }
+  std::vector<std::pair<Vertex, Vertex>> edge_operand;
+  for (std::size_t i = 0; i < g.edges().size() && i < 8; ++i) {
+    edge_operand.emplace_back(g.edges()[i].u, g.edges()[i].v);
+  }
+
+  constexpr QueryKind kCycle[] = {
+      QueryKind::kConnectivity,       QueryKind::kMst,
+      QueryKind::kMinCut,             QueryKind::kTwoEdge,
+      QueryKind::kFlooding,           QueryKind::kRefereeConnectivity,
+      QueryKind::kLeaderElection,     QueryKind::kVerifySpanningSubgraph,
+      QueryKind::kVerifyCut,          QueryKind::kVerifyStConnectivity,
+      QueryKind::kVerifyEdgeOnAllPaths, QueryKind::kVerifyStCut,
+      QueryKind::kVerifyCycle,        QueryKind::kVerifyECycle,
+      QueryKind::kVerifyBipartite,
+  };
+  constexpr std::size_t kCycleLen = sizeof(kCycle) / sizeof(kCycle[0]);
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.reserve(opt.queries);
+  for (std::size_t q = 0; q < opt.queries; ++q) {
+    QueryRequest req;
+    req.seed = split(opt.seed, 0xfeed + q);
+    if (q == 0) {
+      req.kind = QueryKind::kMinCut;
+      req.budget.deadline_ms = 1;
+      req.budget.max_supersteps = 2;
+    } else {
+      req.kind = kCycle[q % kCycleLen];
+      req.s = 0;
+      req.t = static_cast<Vertex>(n - 1);
+      req.x = ex;
+      req.y = ey;
+      if (req.kind == QueryKind::kVerifySpanningSubgraph ||
+          req.kind == QueryKind::kVerifyCut || req.kind == QueryKind::kVerifyStCut) {
+        req.edges = edge_operand;
+      }
+    }
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  service.drain();
+
+  for (const QueryLogEntry& e : service.log()) {
+    if (e.ok) {
+      std::printf("query %3llu %-26s ok    value=%-10llu verdict=%s attempts=%u "
+                  "supersteps=%llu rounds=%llu bits=%llu wall=%lluus\n",
+                  static_cast<unsigned long long>(e.id), query_kind_name(e.kind),
+                  static_cast<unsigned long long>(e.value), e.verdict ? "yes" : "no",
+                  e.attempts, static_cast<unsigned long long>(e.supersteps),
+                  static_cast<unsigned long long>(e.rounds),
+                  static_cast<unsigned long long>(e.bits),
+                  static_cast<unsigned long long>(e.wall_us));
+    } else {
+      std::printf("query %3llu %-26s ERROR %s at superstep %llu after %u attempt(s)\n",
+                  static_cast<unsigned long long>(e.id), query_kind_name(e.kind),
+                  query_error_name(e.error), static_cast<unsigned long long>(e.supersteps),
+                  e.attempts);
+    }
+  }
+  const ServiceStats s = service.stats();
+  std::printf("serve: submitted=%llu completed=%llu failed=%llu rejected=%llu "
+              "attempts=%llu kills=%llu retries=%llu\n",
+              static_cast<unsigned long long>(s.submitted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.rejected_overload),
+              static_cast<unsigned long long>(s.attempts),
+              static_cast<unsigned long long>(s.kills),
+              static_cast<unsigned long long>(s.retries));
+  if (!opt.query_log.empty()) {
+    if (service.write_query_log_json(opt.query_log)) {
+      std::fprintf(stderr, "query log -> %s\n", opt.query_log.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write query log to '%s'\n", opt.query_log.c_str());
+      return 1;
+    }
+  }
+  // Every outcome above is structured — a crash/abort is the only failure
+  // mode this mode can't report, and reaching here means there was none.
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.serve) {
+    if (opt.stream_ingest) {
+      std::fprintf(stderr,
+                   "error: --serve needs the materialized backend for its mixed "
+                   "workload (mincut/2ec/verifier kinds); drop --stream-ingest\n");
+      return 2;
+    }
+    return run_serve(opt);
+  }
   if (opt.stream_ingest) {
     if (!opt.input.empty()) {
       std::fprintf(stderr,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -14,6 +15,17 @@ ClusterConfig ClusterConfig::for_graph(std::size_t n, MachineId k) {
   const auto lg = static_cast<std::uint64_t>(std::ceil(std::log2(std::max<std::size_t>(n, 4))));
   cfg.bandwidth_bits = std::max<std::uint64_t>(64, lg * lg);
   return cfg;
+}
+
+Expected<Cluster, BuildError> Cluster::make(ClusterConfig config) {
+  if (config.k < 2) {
+    return Expected<Cluster, BuildError>::err(
+        {"the k-machine model needs k >= 2 (got k = " + std::to_string(config.k) + ")"});
+  }
+  if (config.bandwidth_bits < 1) {
+    return Expected<Cluster, BuildError>::err({"per-link bandwidth must be >= 1 bit per round"});
+  }
+  return Cluster(config);
 }
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {

@@ -41,6 +41,7 @@
 #include "cluster/message.hpp"
 #include "cluster/payload_arena.hpp"
 #include "util/codec.hpp"
+#include "util/expected.hpp"
 #include "util/stats.hpp"
 
 namespace kmm {
@@ -93,6 +94,11 @@ struct ClusterStats {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+
+  /// Validating factory for configs of external origin (CLI flags, service
+  /// requests): k < 2 or a zero bandwidth come back as a BuildError instead
+  /// of aborting.
+  [[nodiscard]] static Expected<Cluster, BuildError> make(ClusterConfig config);
 
   [[nodiscard]] MachineId k() const noexcept { return config_.k; }
   [[nodiscard]] std::uint64_t bandwidth_bits() const noexcept { return config_.bandwidth_bits; }

@@ -1,6 +1,7 @@
 #include "cluster/distributed_graph.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -11,6 +12,18 @@ namespace {
 // Below this the chunked build's histogram pass costs more than it saves.
 constexpr std::size_t kParallelVertexCutoff = 1 << 15;
 }  // namespace
+
+Expected<DistributedGraph, BuildError> DistributedGraph::make(const Graph& graph,
+                                                              VertexPartition partition,
+                                                              ThreadPool* pool) {
+  if (partition.num_vertices() != graph.num_vertices()) {
+    return Expected<DistributedGraph, BuildError>::err(
+        {"partition size must match the graph: partition covers " +
+         std::to_string(partition.num_vertices()) + " vertices, graph has " +
+         std::to_string(graph.num_vertices())});
+  }
+  return DistributedGraph(graph, std::move(partition), pool);
+}
 
 DistributedGraph::DistributedGraph(const Graph& graph, VertexPartition partition,
                                    ThreadPool* pool)

@@ -137,6 +137,11 @@ class DistributedGraph {
   explicit DistributedGraph(const Graph& graph, VertexPartition partition,
                             ThreadPool* pool = nullptr);
 
+  /// Validating factory for externally assembled (graph, partition) pairs:
+  /// a size mismatch comes back as a BuildError instead of aborting.
+  [[nodiscard]] static Expected<DistributedGraph, BuildError> make(
+      const Graph& graph, VertexPartition partition, ThreadPool* pool = nullptr);
+
   /// Shard-direct backend: takes ownership of adjacency shards built by the
   /// streaming ingest plane. Same hosted-list construction; graph() is
   /// unavailable.

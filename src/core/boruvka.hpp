@@ -119,6 +119,16 @@ struct BoruvkaConfig {
   /// resends, proxy records and recorded output edges, so scheduled crashes
   /// roll the victim back instead of aborting; null is bit-identical.
   FaultPlane* fault = nullptr;
+  /// Optional cooperative cancellation point (src/serve/cancel.hpp),
+  /// forwarded to every Runtime this config builds exactly like `obs`:
+  /// deadlines/budgets/client cancellation unwind the run at the next
+  /// superstep boundary by throwing QueryCancelled (porting recipe rule 9).
+  /// Null never cancels.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool (RuntimeConfig::pool): the serving layer
+  /// multiplexes many queries' Runtimes onto one pool. Null = each Runtime
+  /// owns a private pool when threads > 1, as before.
+  ThreadPool* pool = nullptr;
 };
 
 struct PhaseTrace {

@@ -44,7 +44,8 @@ FloodingResult flooding_connectivity(Cluster& cluster, const DistributedGraph& d
   const std::uint64_t label_bits = bits_for(std::max<std::uint64_t>(n, 2));
   const std::uint64_t max_supersteps =
       config.max_supersteps != 0 ? config.max_supersteps : n + 1;
-  Runtime rt(cluster, RuntimeConfig{config.threads, config.obs, config.fault});
+  Runtime rt(cluster, RuntimeConfig{config.threads, config.obs, config.fault, config.cancel,
+                                    config.pool});
 
   FloodingResult result;
   result.labels.resize(n);

@@ -44,6 +44,11 @@ struct FloodingConfig {
   /// hosted vertex partition), so scheduled crashes roll back and replay
   /// instead of aborting; null leaves behaviour bit-identical.
   FaultPlane* fault = nullptr;
+  /// Optional cooperative cancellation point (src/serve/cancel.hpp),
+  /// checked once per superstep; null never cancels.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool (RuntimeConfig::pool); null = private pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct FloodingResult {

@@ -22,6 +22,11 @@ struct LeaderElectionConfig {
   /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
   /// nothing and leaves the ledger untouched either way.
   const ObsSink* obs = nullptr;
+  /// Optional cooperative cancellation point (src/serve/cancel.hpp),
+  /// checked once per superstep; null never cancels.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool (RuntimeConfig::pool); null = private pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct LeaderResult {

@@ -30,6 +30,13 @@ struct MinCutConfig {
   /// run (overrides connectivity.obs). One timeline attached here sees the
   /// whole level sweep as consecutive rows on one cluster ledger.
   const ObsSink* obs = nullptr;
+  /// Optional cooperative cancellation point, forwarded into every inner
+  /// connectivity run (overrides connectivity.cancel); one budget covers
+  /// the whole level sweep. Null never cancels.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool, forwarded into every inner connectivity
+  /// run (overrides connectivity.pool); null = private pools.
+  ThreadPool* pool = nullptr;
 };
 
 struct MinCutLevelTrace {

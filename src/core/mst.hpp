@@ -42,11 +42,14 @@ struct StrictMstOutput {
 /// `threads` parallelizes the per-machine announce/collect handlers
 /// (same semantics as BoruvkaConfig::threads; ledger is thread-invariant).
 /// `obs` optionally records the pass into the caller's observability sinks
-/// (same contract as BoruvkaConfig::obs).
+/// (same contract as BoruvkaConfig::obs); `cancel`/`pool` ride along with
+/// the BoruvkaConfig seam semantics (rule 9 / shared-pool multiplexing).
 [[nodiscard]] StrictMstOutput announce_mst_to_home_machines(Cluster& cluster,
                                                             const DistributedGraph& dg,
                                                             const BoruvkaResult& mst,
                                                             unsigned threads = 1,
-                                                            const ObsSink* obs = nullptr);
+                                                            const ObsSink* obs = nullptr,
+                                                            CancelPoint* cancel = nullptr,
+                                                            ThreadPool* pool = nullptr);
 
 }  // namespace kmm

@@ -26,6 +26,11 @@ struct RefereeConfig {
   /// Optional observability sinks (see src/obs/obs_sink.hpp); null records
   /// nothing and leaves the ledger untouched either way.
   const ObsSink* obs = nullptr;
+  /// Optional cooperative cancellation point (src/serve/cancel.hpp),
+  /// checked once per superstep; null never cancels.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool (RuntimeConfig::pool); null = private pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct RefereeResult {

@@ -160,7 +160,8 @@ VerifyResult verify_cycle_containment(Cluster& cluster, const DistributedGraph& 
   const StatsScope scope(cluster);
   std::uint64_t m = 0;
   {
-    Runtime rt(cluster, RuntimeConfig{config.threads, config.obs});
+    Runtime rt(cluster, RuntimeConfig{config.threads, config.obs, nullptr, config.cancel,
+                                      config.pool});
     m = count_edges(rt, dg);
   }
   const auto res = connected_components(cluster, dg, config);

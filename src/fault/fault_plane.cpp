@@ -59,6 +59,16 @@ std::size_t FaultPlane::begin_step(Cluster& cluster, MachineProgram& program) {
           consumed_restarts_.end()) {
     crash_scratch_.clear();  // this ordinal's crashes restarted the phase already
   }
+  if (config_.lethal_crashes) {
+    // Serving-layer kill model: no checkpoints, no logs, no recovery. A
+    // crash-free schedule makes this branch a pure no-op (the silent-plane
+    // neutrality the retry determinism tests rely on); a scheduled crash
+    // kills the whole attempt for the service to retry on a fresh cluster.
+    if (crash_scratch_.empty()) return 0;
+    stats_.crashes += crash_scratch_.size();
+    step_events_ += crash_scratch_.size();
+    throw QueryKilled{ordinal_, crash_scratch_.front().machine};
+  }
   const bool checkpointable = program.checkpointable();
   const bool ckpt_active = config_.always_checkpoint || schedule_->has_crashes();
 

@@ -79,6 +79,22 @@ struct FaultPlaneConfig {
   /// overruns are counted (FaultStats::deadline_overruns), never charged —
   /// deterministic simulated hangs come from FaultSchedule::add_hang.
   std::uint64_t handler_deadline_ns = 0;
+  /// Lethal mode (the serving layer's process-kill model): a scheduled
+  /// crash is not recovered — begin_step throws QueryKilled instead, and
+  /// ALL checkpoint/log/replay machinery is skipped, so a schedule with no
+  /// crashes is a true no-op plane (link faults still emulate normally).
+  /// The service catches QueryKilled, discards the attempt's cluster, and
+  /// re-runs under its retry policy.
+  bool lethal_crashes = false;
+};
+
+/// Thrown by FaultPlane::begin_step in lethal mode when a scheduled crash
+/// fires: the whole attempt dies (a machine loss without recovery), to be
+/// retried by the serving layer on a fresh cluster. Deliberately not a
+/// std::exception subclass — nothing below the service should catch it.
+struct QueryKilled {
+  std::uint64_t superstep = 0;  // plane ordinal at which the attempt died
+  MachineId machine = 0;        // first scheduled victim
 };
 
 struct FaultStats {

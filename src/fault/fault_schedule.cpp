@@ -122,6 +122,32 @@ bool FaultSchedule::reordered(std::uint64_t step, MachineId src, MachineId dst) 
          explicit_link(step, src, dst, 0, LinkFaultKind::kReorder);
 }
 
+FaultSchedule service_attempt_schedule(std::uint64_t seed, std::uint64_t query_id,
+                                       std::uint64_t attempt, double kill_prob,
+                                       std::uint64_t horizon, MachineId k,
+                                       FaultProfile profile) {
+  KMM_CHECK_MSG(k >= 1, "service_attempt_schedule needs at least one machine");
+  KMM_CHECK_MSG(horizon >= 1, "kill horizon must be >= 1 superstep");
+  // Every crash must come from the single kill draw below (see the header
+  // doc): zero the profile's own crash stream before seeding the schedule.
+  profile.crash_prob = 0.0;
+  FaultSchedule schedule(split3(seed, query_id, attempt), profile);
+  constexpr std::uint64_t kSaltKill = 0x6b696c6cull;  // "kill"
+  const std::uint64_t draw = split3(seed ^ kSaltKill, query_id, attempt);
+  bool kill = false;
+  if (kill_prob >= 1.0) {
+    kill = true;
+  } else if (kill_prob > 0.0) {
+    kill = (draw >> 11) < static_cast<std::uint64_t>(kill_prob * 9007199254740992.0);
+  }
+  if (kill) {
+    const std::uint64_t step = split(draw, 1) % horizon;
+    const MachineId machine = static_cast<MachineId>(split(draw, 2) % k);
+    schedule.add_crash(step, machine);
+  }
+  return schedule;
+}
+
 bool FaultSchedule::ingest_alloc_fails(MachineId machine) const {
   if (std::find(ingest_fails_.begin(), ingest_fails_.end(), machine) != ingest_fails_.end()) {
     return true;

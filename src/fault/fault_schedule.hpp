@@ -170,4 +170,20 @@ class FaultSchedule {
   std::vector<MachineId> ingest_fails_;
 };
 
+/// The serving layer's chaos schedule for one query attempt: ONE PRF kill
+/// draw per (query, attempt) decides whether — and deterministically where
+/// and when — this attempt dies (an explicit crash for the lethal plane to
+/// convert into QueryKilled). One draw per attempt, not per (step, machine),
+/// so retries converge geometrically: P(attempt survives) = 1 - kill_prob
+/// regardless of query length or k. The link-fault rates of `profile` ride
+/// along unchanged, but its crash_prob is zeroed — in chaos mode every
+/// crash must come from the kill draw, so a surviving attempt carries an
+/// empty crash schedule and (by the plane's silent-crash neutrality) a
+/// ledger bit-identical to an undisturbed run.
+[[nodiscard]] FaultSchedule service_attempt_schedule(std::uint64_t seed,
+                                                     std::uint64_t query_id,
+                                                     std::uint64_t attempt, double kill_prob,
+                                                     std::uint64_t horizon, MachineId k,
+                                                     FaultProfile profile = {});
+
 }  // namespace kmm

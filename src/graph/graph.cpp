@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "util/thread_pool.hpp"
 
@@ -22,6 +23,35 @@ constexpr bool edge_key_less(const WeightedEdge& a, const WeightedEdge& b) noexc
 
 Graph::Graph(std::size_t n, std::vector<WeightedEdge> edges) : n_(n) {
   build_serial(std::move(edges));
+}
+
+Expected<Graph, BuildError> Graph::make(std::size_t n, std::vector<WeightedEdge> edges,
+                                        ThreadPool* pool) {
+  for (const auto& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return Expected<Graph, BuildError>::err(
+          {"edge endpoint out of range: {" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+           "} with n = " + std::to_string(n)});
+    }
+    if (e.u == e.v) {
+      return Expected<Graph, BuildError>::err(
+          {"self-loops are not supported: vertex " + std::to_string(e.u)});
+    }
+  }
+  // Parallel-edge detection on a canonical key copy, leaving `edges` in the
+  // caller's order for the ctor (whose own sort produces the CSR).
+  std::vector<std::pair<Vertex, Vertex>> keys;
+  keys.reserve(edges.size());
+  for (const auto& e : edges) {
+    keys.emplace_back(e.u < e.v ? e.u : e.v, e.u < e.v ? e.v : e.u);
+  }
+  std::sort(keys.begin(), keys.end());
+  if (const auto dup = std::adjacent_find(keys.begin(), keys.end()); dup != keys.end()) {
+    return Expected<Graph, BuildError>::err(
+        {"parallel edges are not supported: duplicate edge {" + std::to_string(dup->first) +
+         ", " + std::to_string(dup->second) + "}"});
+  }
+  return Graph(n, std::move(edges), pool);
 }
 
 Graph::Graph(std::size_t n, std::vector<WeightedEdge> edges, ThreadPool* pool) : n_(n) {

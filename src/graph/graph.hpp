@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/expected.hpp"
 
 namespace kmm {
 
@@ -72,6 +73,14 @@ class Graph {
   /// Builds CSR from an undirected edge list; parallel edges and self-loops
   /// are rejected (checked). Vertices referenced must be < n.
   Graph(std::size_t n, std::vector<WeightedEdge> edges);
+
+  /// Validating factory for edge lists of *external* origin (files, flags,
+  /// wire input): pre-checks every rule the ctor would abort on — endpoint
+  /// range, self-loops, parallel edges — and returns the diagnostic as data
+  /// instead. On success the graph is identical to `Graph(n, edges, pool)`.
+  [[nodiscard]] static Expected<Graph, BuildError> make(std::size_t n,
+                                                        std::vector<WeightedEdge> edges,
+                                                        ThreadPool* pool = nullptr);
 
   /// Same, with the heavy passes (canonicalize/validate, sort, degree
   /// count, adjacency fill) parallelized on `pool` — the input-pipeline

@@ -1,5 +1,7 @@
 #include "graph/partition.hpp"
 
+#include <string>
+
 #include "util/assert.hpp"
 
 namespace kmm {
@@ -37,6 +39,21 @@ VertexPartition VertexPartition::from_table(std::vector<MachineId> table, Machin
   for (const MachineId m : table) KMM_CHECK_MSG(m < k, "partition table entry out of range");
   p.table_ = std::move(table);
   return p;
+}
+
+Expected<VertexPartition, BuildError> VertexPartition::make_from_table(
+    std::vector<MachineId> table, MachineId k) {
+  if (k < 1) {
+    return Expected<VertexPartition, BuildError>::err({"a partition needs k >= 1 machines"});
+  }
+  for (std::size_t v = 0; v < table.size(); ++v) {
+    if (table[v] >= k) {
+      return Expected<VertexPartition, BuildError>::err(
+          {"partition table entry out of range: vertex " + std::to_string(v) +
+           " maps to machine " + std::to_string(table[v]) + " with k = " + std::to_string(k)});
+    }
+  }
+  return from_table(std::move(table), k);
 }
 
 MachineId VertexPartition::home(Vertex v) const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/expected.hpp"
 #include "util/random.hpp"
 
 namespace kmm {
@@ -37,6 +38,12 @@ class VertexPartition {
   /// that derive a partition from another one, e.g. the bipartite double
   /// cover placing (v,0) and (v,1) on home(v).
   static VertexPartition from_table(std::vector<MachineId> table, MachineId k);
+
+  /// Validating counterpart of from_table for tables of external origin:
+  /// out-of-range entries (or k == 0) come back as a BuildError instead of
+  /// aborting.
+  [[nodiscard]] static Expected<VertexPartition, BuildError> make_from_table(
+      std::vector<MachineId> table, MachineId k);
 
   [[nodiscard]] MachineId home(Vertex v) const;
   [[nodiscard]] MachineId machines() const noexcept { return k_; }

@@ -30,6 +30,13 @@
 //                restart fallback), attached through RuntimeConfig::fault /
 //                the core configs' fault field (off by default; detached is
 //                bit-identical)
+//   serve      — the resilient query-serving layer: one long-lived
+//                DistributedGraph serving concurrent queries with per-query
+//                budgets (wall deadline, superstep cap, ledger-bit cap),
+//                cooperative cancellation at superstep boundaries, seeded
+//                retry/backoff over injected crashes, and an admission
+//                controller that sheds load (kOverloaded) instead of
+//                thrashing — every outcome structured, never an abort
 //   lowerbound — Section 4 two-party simulation artifacts
 
 #include "cluster/cluster.hpp"
@@ -68,6 +75,9 @@
 #include "runtime/outbox.hpp"
 #include "runtime/phase_timers.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/cancel.hpp"
+#include "serve/retry.hpp"
+#include "serve/service.hpp"
 #include "sketch/graph_sketch.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"

@@ -6,6 +6,7 @@
 
 #include "fault/fault_plane.hpp"
 #include "obs/metrics_timeline.hpp"
+#include "serve/cancel.hpp"
 #include "obs/trace_recorder.hpp"
 #include "runtime/phase_timers.hpp"
 #include "util/assert.hpp"
@@ -31,12 +32,24 @@ Runtime::Runtime(Cluster& cluster, RuntimeConfig config)
     : cluster_(&cluster),
       threads_(resolve_threads(config.threads, cluster.k())),
       sink_(config.obs != nullptr ? *config.obs : ObsSink{}),
-      fault_(config.fault) {
+      fault_(config.fault),
+      cancel_(config.cancel) {
   // Baseline the timeline before the first step so row 0's delta starts at
   // this Runtime's construction (idempotent across sequential Runtimes
   // reusing one sink on one cluster).
   if (sink_.timeline != nullptr) sink_.timeline->attach(*cluster_);
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  if (threads_ > 1) {
+    if (config.pool != nullptr) {
+      // Borrowed shared pool (the serving layer's multiplexing seam): clamp
+      // the reported concurrency to what the pool can actually provide.
+      pool_ = config.pool;
+      threads_ = std::min(threads_, pool_->size());
+      if (threads_ <= 1) pool_ = nullptr;
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(threads_);
+      pool_ = owned_pool_.get();
+    }
+  }
   // Shards exist whenever any step can run sharded: multi-threaded steps,
   // or any step under an attached fault plane (transit emulation intercepts
   // the shard buckets between the handler barrier and delivery).
@@ -72,6 +85,14 @@ std::uint64_t Runtime::finish_step(StepMode mode, std::uint64_t handler_ns,
 }
 
 std::uint64_t Runtime::step(MachineProgram& program, StepMode mode) {
+  if (cancel_ != nullptr) {
+    // The query's only cancellation point (porting recipe rule 9): on the
+    // driver thread, before fault processing and before any handler runs.
+    // check() throws QueryCancelled when a budget tripped or the client
+    // cancelled; unwinding releases the engine's pooled state via RAII and
+    // leaves no half-delivered superstep behind.
+    cancel_->check(*cluster_);
+  }
   const MachineId k = cluster_->k();
   TraceRecorder* const tr = sink_.trace;
   // Span timestamps must sit on the recorder's rebased clock; phase

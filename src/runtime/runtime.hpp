@@ -106,6 +106,29 @@
 //      Borůvka engine's finished_ bits) may be treated as replicated stable
 //      storage and left out of snapshots; anything a machine could observe
 //      at two different values across a rollback must be serialized.
+//   9. Cancellation points and state-release obligations. When a
+//      CancelPoint rides RuntimeConfig::cancel (the serving layer's seam,
+//      src/serve/cancel.hpp), Runtime::step calls check() on the driver
+//      thread BEFORE fault processing and before any handler runs — the
+//      only cancellation point there is. A tripped check throws
+//      QueryCancelled through step() and out of the program's driving code,
+//      so a MachineProgram must satisfy two obligations to be servable:
+//      (a) every resource a run acquires must be released by unwinding —
+//          keep engine state (registries, sketch pools, arenas, scratch) in
+//          RAII members of a stack-local engine/driver and register
+//          cross-object attachments through scopes (StateHookScope is the
+//          model); never leak a raw registration that outlives the throw;
+//      (b) handlers must NOT contain their own blocking or cancellation
+//          logic — a handler span is pure local compute (rule 7) and is
+//          never interrupted mid-step; cancellation granularity is exactly
+//          one superstep, which also preserves the cluster invariant that
+//          an unwound run leaves no half-delivered superstep behind.
+//      Programs that obey rules 1-8 get rule 9 for free: all src/core/
+//      engines are stack-constructed per run and release everything on
+//      unwind. The cluster a cancelled query ran on still holds delivered
+//      inboxes and its partial ledger; the serving layer isolates queries
+//      by giving each attempt a fresh Cluster and discarding it on
+//      cancellation rather than scrubbing state in place.
 //
 // Because the handler order in sequential mode and the shard-merge order in
 // parallel mode are both ascending machine order, a ported algorithm's sends
@@ -131,6 +154,7 @@
 namespace kmm {
 
 class FaultPlane;
+class CancelPoint;
 
 struct RuntimeConfig {
   /// Worker threads for per-machine local computation. 1 = sequential,
@@ -149,6 +173,22 @@ struct RuntimeConfig {
   /// plane's contract, so a detached-vs-attached ledger only differs by the
   /// schedule's injected faults.
   FaultPlane* fault = nullptr;
+  /// Optional cooperative cancellation point (src/serve/cancel.hpp),
+  /// borrowed like the obs sinks. When attached, every step() begins with
+  /// CancelPoint::check() on the driver thread — deadline, superstep and
+  /// ledger budgets, and client cancellation all unwind the run by throwing
+  /// QueryCancelled at that boundary (porting recipe rule 9). Null never
+  /// cancels and costs one branch per step.
+  CancelPoint* cancel = nullptr;
+  /// Optional shared worker pool. Null (the default): the Runtime owns a
+  /// private pool when threads > 1, exactly as before. Non-null: the
+  /// Runtime borrows this pool for its parallel steps instead — the
+  /// serving layer's multiplexing seam, where many concurrent queries'
+  /// Runtimes time-slice one pool at superstep granularity (ThreadPool
+  /// serializes whole parallel_for invocations). The pool must outlive the
+  /// Runtime; effective concurrency is clamped to min(threads, pool size,
+  /// k). Ignored when the resolved thread count is 1.
+  ThreadPool* pool = nullptr;
 };
 
 /// The thread-count resolution every Runtime applies: 0 expands to
@@ -237,8 +277,10 @@ class Runtime {
   unsigned threads_;
   ObsSink sink_;                      // copied from config; empty = record nothing
   FaultPlane* fault_;                 // borrowed; null = plane detached
+  CancelPoint* cancel_;               // borrowed; null = never cancels
   std::uint64_t step_ordinal_ = 0;    // steps driven by this Runtime (incl. free)
-  std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+  std::unique_ptr<ThreadPool> owned_pool_;  // private pool when none was borrowed
+  ThreadPool* pool_ = nullptr;        // owned_pool_.get() or the borrowed pool
   std::vector<OutboxShard> shards_;   // per-source buffers + arenas, reused
 };
 

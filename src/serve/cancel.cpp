@@ -1,0 +1,63 @@
+#include "serve/cancel.hpp"
+
+#include <chrono>
+
+namespace kmm {
+
+namespace {
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+const char* query_error_name(QueryErrorCode code) noexcept {
+  switch (code) {
+    case QueryErrorCode::kCancelled: return "cancelled";
+    case QueryErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case QueryErrorCode::kSuperstepLimit: return "superstep_limit";
+    case QueryErrorCode::kLedgerBudget: return "ledger_budget";
+    case QueryErrorCode::kOverloaded: return "overloaded";
+    case QueryErrorCode::kCrashed: return "crashed";
+    case QueryErrorCode::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+CancelPoint::CancelPoint(const CancelToken* token, QueryBudget budget)
+    : token_(token), budget_(budget) {
+  if (budget_.deadline_ms != 0) {
+    deadline_ns_ = now_ns() + budget_.deadline_ms * 1'000'000ull;
+  }
+}
+
+void CancelPoint::check(const Cluster& cluster) {
+  if (!baselined_) {
+    bits0_ = cluster.stats().total_bits;
+    baselined_ = true;
+  }
+  // Deterministic triggers first, wall clock last: a test arming
+  // cancel_at_superstep or a superstep/ledger budget sees the same kill
+  // point on every machine and thread count.
+  if (steps_ >= cancel_at_) {
+    throw QueryCancelled{QueryErrorCode::kCancelled, steps_};
+  }
+  if (token_ != nullptr && token_->cancelled()) {
+    throw QueryCancelled{QueryErrorCode::kCancelled, steps_};
+  }
+  if (budget_.max_supersteps != 0 && steps_ >= budget_.max_supersteps) {
+    throw QueryCancelled{QueryErrorCode::kSuperstepLimit, steps_};
+  }
+  if (budget_.max_ledger_bits != 0 &&
+      cluster.stats().total_bits - bits0_ > budget_.max_ledger_bits) {
+    throw QueryCancelled{QueryErrorCode::kLedgerBudget, steps_};
+  }
+  if (deadline_ns_ != 0 && now_ns() > deadline_ns_) {
+    throw QueryCancelled{QueryErrorCode::kDeadlineExceeded, steps_};
+  }
+  ++steps_;
+}
+
+}  // namespace kmm

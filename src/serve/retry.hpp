@@ -1,0 +1,52 @@
+#pragma once
+// Seeded retry/backoff policy for the serving layer.
+//
+// Backoff delays follow "decorrelated jitter" (each delay is drawn uniformly
+// from [base, 3 * previous], capped), but the draw is a pure function of
+// (policy seed, query id, attempt) through the library's splitmix64 PRF —
+// wall-clock never enters the DECISION, only the sleep that executes it. Two
+// runs of the same service over the same chaos schedule therefore retry the
+// same queries after the same (nominal) delays, which is what keeps the
+// retry plane inside the repo's determinism story: the sequence of attempts,
+// their fault schedules, and the surviving attempt's ledger are all replay-
+// identical; only the wall time spent sleeping varies.
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace kmm {
+
+struct RetryPolicy {
+  /// Attempts per query including the first (1 = never retry). Retries fire
+  /// only for attempts killed by injected crashes (QueryKilled); structured
+  /// cancellations/deadline hits are final.
+  unsigned max_attempts = 3;
+  /// First retry's nominal delay; also the lower bound of every draw.
+  std::uint64_t base_backoff_us = 200;
+  /// Cap applied to every drawn delay.
+  std::uint64_t max_backoff_us = 20'000;
+  /// PRF seed for the jitter draws.
+  std::uint64_t seed = 0x5e77ee;
+};
+
+/// Nominal delay before re-running `query_id` after its `attempt`-th attempt
+/// died (attempt counts from 1). Deterministic: iterates the decorrelated-
+/// jitter recurrence from the base using only PRF draws keyed by
+/// (seed, query_id, attempt index).
+[[nodiscard]] inline std::uint64_t retry_backoff_us(const RetryPolicy& policy,
+                                                    std::uint64_t query_id,
+                                                    unsigned attempt) {
+  const std::uint64_t base = policy.base_backoff_us;
+  const std::uint64_t cap = policy.max_backoff_us > base ? policy.max_backoff_us : base;
+  std::uint64_t delay = base;
+  for (unsigned a = 1; a <= attempt; ++a) {
+    const std::uint64_t hi = delay * 3 < cap ? delay * 3 : cap;
+    const std::uint64_t span = hi > base ? hi - base : 0;
+    const std::uint64_t draw = split3(policy.seed, query_id, a);
+    delay = base + (span != 0 ? draw % (span + 1) : 0);
+  }
+  return delay;
+}
+
+}  // namespace kmm

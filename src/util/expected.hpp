@@ -58,4 +58,15 @@ struct IngestError {
   std::string message;
 };
 
+/// Error payload of the structural `make()` factories (Graph::make,
+/// Cluster::make, DistributedGraph::make, VertexPartition::make_from_table):
+/// malformed *external input* — an out-of-range endpoint in a loaded edge
+/// list, a self-loop, an undersized cluster — reported as data for the
+/// caller to surface. The plain constructors keep their aborting KMM_CHECKs:
+/// reaching them with bad data remains a programming error; the factories
+/// are the path for anything parsed from files, flags, or the network.
+struct BuildError {
+  std::string message;
+};
+
 }  // namespace kmm

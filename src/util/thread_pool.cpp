@@ -7,6 +7,23 @@ namespace kmm {
 namespace {
 // Lane of the executing thread: 0 until a pool worker stamps its own id.
 thread_local unsigned t_lane = 0;
+// Pool whose tasks this thread is currently running (caller or worker).
+// Detects reentrancy — a task calling parallel_for on its own pool — which
+// would otherwise deadlock on the submit mutex.
+thread_local const void* t_active_pool = nullptr;
+
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const void* pool) noexcept : prev_(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolScope() { t_active_pool = prev_; }
+  ActivePoolScope(const ActivePoolScope&) = delete;
+  ActivePoolScope& operator=(const ActivePoolScope&) = delete;
+
+ private:
+  const void* prev_;
+};
 }  // namespace
 
 unsigned ThreadPool::current_lane() noexcept { return t_lane; }
@@ -45,6 +62,7 @@ void ThreadPool::worker_loop(unsigned lane) {
 }
 
 void ThreadPool::run_tasks(std::uint64_t generation) {
+  const ActivePoolScope active(this);
   for (;;) {
     std::size_t index;
     void (*invoke)(void*, std::size_t);
@@ -78,6 +96,12 @@ void ThreadPool::parallel_for_impl(std::size_t count, void (*invoke)(void*, std:
     for (std::size_t i = 0; i < count; ++i) invoke(ctx, i);
     return;
   }
+  // Fail fast on reentrancy (a task dispatching on its own pool would
+  // deadlock on submit_mutex_ below); then serialize whole invocations so
+  // concurrent callers — the serving layer's per-query Runtimes — time-
+  // slice the pool one generation at a time.
+  KMM_CHECK_MSG(t_active_pool != this, "parallel_for is not reentrant");
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   std::uint64_t generation;
   {
     std::lock_guard<std::mutex> lock(mutex_);

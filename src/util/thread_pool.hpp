@@ -17,6 +17,15 @@
 //
 // The first exception thrown by any task is captured and rethrown on the
 // calling thread after the barrier; remaining tasks still run.
+//
+// Concurrent callers: parallel_for may be invoked from SEVERAL threads at
+// once — whole invocations are serialized by a submit mutex, so callers
+// time-slice the pool one generation at a time. This is the serving layer's
+// multiplexing model: many queries' Runtimes share one pool and interleave
+// at superstep granularity, each superstep still owning every worker.
+// parallel_for remains non-reentrant (a task must not call parallel_for on
+// its own pool — that now deadlocks on the submit mutex instead of racing,
+// so it is detected and aborted via a thread-local ownership check).
 
 #include <cstddef>
 #include <cstdint>
@@ -66,10 +75,12 @@ class ThreadPool {
   [[nodiscard]] static unsigned current_lane() noexcept;
 
   /// Run fn(0), ..., fn(count - 1) across the pool; blocks until every
-  /// invocation finished. Not reentrant: fn must not call parallel_for on
-  /// the same pool. The callable is borrowed by reference for the duration
-  /// of the call (function_ref style) — no type-erasure allocation, so a
-  /// superstep dispatch costs nothing on the heap.
+  /// invocation finished. Safe to call from several threads concurrently
+  /// (invocations serialize on a submit mutex), but NOT reentrant: fn must
+  /// not call parallel_for on the same pool. The callable is borrowed by
+  /// reference for the duration of the call (function_ref style) — no
+  /// type-erasure allocation, so a superstep dispatch costs nothing on the
+  /// heap.
   template <typename Fn>
   void parallel_for(std::size_t count, Fn&& fn) {
     using F = std::remove_reference_t<Fn>;
@@ -84,6 +95,11 @@ class ThreadPool {
   void run_tasks(std::uint64_t generation);
 
   std::vector<std::thread> workers_;
+
+  /// Serializes whole parallel_for invocations from concurrent callers.
+  /// Held by the submitting thread for the full generation (post + drain),
+  /// so one generation's tasks never interleave with another's.
+  std::mutex submit_mutex_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: a new generation is ready

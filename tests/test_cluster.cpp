@@ -189,10 +189,34 @@ TEST(ClusterTest, DefaultConfigScalesWithN) {
   EXPECT_GE(small.bandwidth_bits, 64u);
 }
 
-TEST(ClusterDeath, RejectsBadConfig) {
+TEST(ClusterTest, MakeRejectsBadConfig) {
   ClusterConfig cfg;
   cfg.k = 1;
-  EXPECT_DEATH(Cluster{cfg}, "k >= 2");
+  const auto too_small = Cluster::make(cfg);
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_NE(too_small.error().message.find("k >= 2"), std::string::npos);
+
+  cfg.k = 4;
+  cfg.bandwidth_bits = 0;
+  const auto no_bandwidth = Cluster::make(cfg);
+  ASSERT_FALSE(no_bandwidth.ok());
+  EXPECT_NE(no_bandwidth.error().message.find("bandwidth"), std::string::npos);
+
+  cfg.bandwidth_bits = 64;
+  auto good = Cluster::make(cfg);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().k(), 4u);
+}
+
+TEST(DistributedGraphTest, MakeRejectsPartitionSizeMismatch) {
+  const Graph g(4, {{0, 1, 1}, {2, 3, 2}});
+  const auto bad = DistributedGraph::make(g, VertexPartition::round_robin(5, 2));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("partition size must match"), std::string::npos);
+
+  auto good = DistributedGraph::make(g, VertexPartition::round_robin(4, 2));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().num_vertices(), 4u);
 }
 
 TEST(ClusterDeath, RejectsOutOfRangeMachine) {

@@ -82,10 +82,32 @@ TEST(GraphContainer, EdgeIndexRoundtrip) {
   }
 }
 
-TEST(GraphContainerDeath, RejectsSelfLoopsAndParallel) {
-  EXPECT_DEATH(Graph(3, {{1, 1, 1}}), "self-loops");
-  EXPECT_DEATH(Graph(3, {{0, 1, 1}, {1, 0, 2}}), "parallel");
-  EXPECT_DEATH(Graph(3, {{0, 7, 1}}), "out of range");
+TEST(GraphContainer, MakeRejectsSelfLoopsAndParallel) {
+  const auto self_loop = Graph::make(3, {{1, 1, 1}});
+  ASSERT_FALSE(self_loop.ok());
+  EXPECT_NE(self_loop.error().message.find("self-loops"), std::string::npos);
+
+  // {1, 0} is the same undirected edge as {0, 1} — canonicalization must
+  // catch the duplicate whichever orientation each copy arrived in.
+  const auto parallel = Graph::make(3, {{0, 1, 1}, {1, 0, 2}});
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_NE(parallel.error().message.find("parallel"), std::string::npos);
+
+  const auto range = Graph::make(3, {{0, 7, 1}});
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(GraphContainer, MakeAcceptsValidEdgeList) {
+  auto made = Graph::make(4, {{2, 0, 5}, {0, 1, 3}, {1, 2, 4}});
+  ASSERT_TRUE(made.ok());
+  const Graph g = std::move(made).value();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  // Identical to the ctor path: same canonical edge order, same CSR.
+  const Graph direct(4, {{2, 0, 5}, {0, 1, 3}, {1, 2, 4}});
+  EXPECT_EQ(g.edges(), direct.edges());
 }
 
 TEST(Builder, Deduplicates) {

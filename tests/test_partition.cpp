@@ -74,8 +74,20 @@ TEST(VertexPartitionTest, FromTable) {
   EXPECT_EQ(p.num_vertices(), 4u);
 }
 
-TEST(VertexPartitionDeath, TableEntryOutOfRange) {
-  EXPECT_DEATH(VertexPartition::from_table({0, 5}, 3), "out of range");
+TEST(VertexPartition, MakeFromTableRejectsOutOfRangeEntry) {
+  const auto bad = VertexPartition::make_from_table({0, 5}, 3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("out of range"), std::string::npos);
+  // The diagnostic names the offending vertex and machine.
+  EXPECT_NE(bad.error().message.find("vertex 1"), std::string::npos);
+
+  const auto no_machines = VertexPartition::make_from_table({}, 0);
+  ASSERT_FALSE(no_machines.ok());
+  EXPECT_NE(no_machines.error().message.find("k >= 1"), std::string::npos);
+
+  auto good = VertexPartition::make_from_table({0, 2, 1}, 3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().home(1), 2u);
 }
 
 TEST(EdgePartitionTest, BalancedAndDeterministic) {
