@@ -10,9 +10,15 @@
 //   * checkpoint cadence C trades wall-clock overhead against replay depth:
 //     C=1 snapshots every superstep (max overhead, zero replay), C=64
 //     amortizes to near-baseline. The measured wall/allocs/words columns at
-//     C in {1, 8, 64} are the trade-off table ROADMAP's fault plane cites.
+//     C in {1, 8, 64} are the trade-off table ROADMAP's fault plane cites;
+//   * the durable tee (src/durable/) prices process-death insurance: the
+//     same cadences with every checkpoint ALSO committed to disk as a
+//     checksummed resume frame, fsync on (crash-consistent) and off (page
+//     cache only) — the fsync column is the real cost of durability.
 //
 // Columns land in BENCH_faults.json via bench_common's BenchJson.
+
+#include <unistd.h>
 
 #include <span>
 
@@ -56,6 +62,7 @@ struct FaultBenchRun {
   double wall_ms = 0.0;
   std::uint64_t steady_allocs = 0;  // operator-new calls after warmup
   kmm::FaultStats fault;
+  kmm::DurableStore::Stats durable;
 };
 
 constexpr kmm::MachineId kMachines = 16;
@@ -82,7 +89,10 @@ FaultBenchRun drive(kmm::FaultPlane* plane) {
   FaultBenchRun run;
   run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   run.steady_allocs = alloc_count() - a0;
-  if (plane != nullptr) run.fault = plane->stats();
+  if (plane != nullptr) {
+    run.fault = plane->stats();
+    if (plane->durable_store() != nullptr) run.durable = plane->durable_store()->stats();
+  }
   return run;
 }
 
@@ -133,6 +143,38 @@ int main() {
     kmm::FaultPlane plane(empty, pcfg);
     const FaultBenchRun run = drive(&plane);
     report(json, "ckpt-on", cadence, run, detached.wall_ms);
+  }
+
+  // Durable tee: every cadence checkpoint also lands on disk as a resume
+  // frame. Each cell gets its own fresh directory so commit counts and
+  // pruning are independent.
+  for (const bool fsync : {false, true}) {
+    for (const unsigned cadence : {1u, 8u, 64u}) {
+      char dir[128];
+      std::snprintf(dir, sizeof(dir), "bench_durable_%s_c%u_%d",
+                    fsync ? "fsync" : "nofsync", cadence, static_cast<int>(::getpid()));
+      kmm::DurableStore store({dir, fsync, /*keep_generations=*/3, 0});
+      kmm::FaultPlaneConfig pcfg;
+      pcfg.checkpoint_every = cadence;
+      kmm::FaultPlane plane(empty, pcfg);
+      plane.set_durable_store(&store);
+      const FaultBenchRun run = drive(&plane);
+      report(json, fsync ? "durable-fsync" : "durable", cadence, run, detached.wall_ms);
+      std::printf("  %s cadence=%u: %llu commits, %llu bytes, %llu pruned\n",
+                  fsync ? "durable-fsync" : "durable", cadence,
+                  static_cast<unsigned long long>(run.durable.commits),
+                  static_cast<unsigned long long>(run.durable.bytes_written),
+                  static_cast<unsigned long long>(run.durable.pruned));
+      char extra[200];
+      std::snprintf(extra, sizeof(extra),
+                    "{\"mode\": \"%s-io\", \"cadence\": %u, \"fsync\": %s, "
+                    "\"durable_commits\": %llu, \"durable_bytes\": %llu, \"pruned\": %llu}",
+                    fsync ? "durable-fsync" : "durable", cadence, fsync ? "true" : "false",
+                    static_cast<unsigned long long>(run.durable.commits),
+                    static_cast<unsigned long long>(run.durable.bytes_written),
+                    static_cast<unsigned long long>(run.durable.pruned));
+      json.record_raw(extra);
+    }
   }
 
   if (off.steady_allocs != 0) {

@@ -305,6 +305,13 @@ void Cluster::inject_inbox(MachineId m, const Message& msg) {
 
 void Cluster::charge_rounds(std::uint64_t rounds) { stats_.rounds += rounds; }
 
+void Cluster::restore_stats(const ClusterStats& stats) {
+  KMM_CHECK_MSG(stats.sent_bits_by_machine.size() == config_.k &&
+                    stats.received_bits_by_machine.size() == config_.k,
+                "restored ledger's per-machine vectors must match the cluster width");
+  stats_ = stats;
+}
+
 void Cluster::track_cut(std::vector<std::uint8_t> side) {
   KMM_CHECK_MSG(side.size() == config_.k, "cut side vector must cover all machines");
   cut_side_ = std::move(side);

@@ -178,6 +178,13 @@ class Cluster {
 
   [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
 
+  /// Durable-restart seam: overwrite the ledger with a snapshot recovered
+  /// from a checkpoint frame. Only the RecoveryManager path calls this — a
+  /// resumed process continues accumulating on top of the restored values,
+  /// which is what makes the final ledger bit-identical to an uninterrupted
+  /// run. The per-machine vectors must match this cluster's width.
+  void restore_stats(const ClusterStats& stats);
+
   /// Number of directed links, k(k-1).
   [[nodiscard]] std::uint64_t directed_links() const noexcept {
     return static_cast<std::uint64_t>(config_.k) * (config_.k - 1);

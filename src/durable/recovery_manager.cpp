@@ -1,0 +1,77 @@
+#include "durable/recovery_manager.hpp"
+
+#include <utility>
+
+#include "durable/durable_store.hpp"
+#include "util/atomic_file.hpp"
+
+namespace kmm {
+
+Expected<DurableFrame, DurableError> RecoveryManager::load_frame(
+    const std::string& path, const Expectation& expect) {
+  using Result = Expected<DurableFrame, DurableError>;
+  std::vector<std::uint64_t> words;
+  std::string io_error;
+  bool truncated = false;
+  if (!read_file_words(path, words, &io_error, &truncated)) {
+    return Result::err({truncated ? DurableErrorCode::kTruncated : DurableErrorCode::kIo,
+                        std::move(io_error), path});
+  }
+  auto decoded = decode_frame(words);
+  if (!decoded.ok()) {
+    DurableError error = decoded.error();
+    error.path = path;
+    return Result::err(std::move(error));
+  }
+  DurableFrame frame = std::move(decoded).value();
+  if (frame.state_version != expect.state_version) {
+    return Result::err({DurableErrorCode::kStateVersionMismatch,
+                        "frame serialized-state version " +
+                            std::to_string(frame.state_version) + ", program declares " +
+                            std::to_string(expect.state_version) + " (rule 10)",
+                        path});
+  }
+  if (expect.fingerprint != 0 && frame.fingerprint != expect.fingerprint) {
+    return Result::err({DurableErrorCode::kFingerprintMismatch,
+                        "frame belongs to a different graph/config (fingerprint mismatch)",
+                        path});
+  }
+  if (expect.k != 0 && frame.k != expect.k) {
+    return Result::err({DurableErrorCode::kClusterWidthMismatch,
+                        "frame was taken on k=" + std::to_string(frame.k) +
+                            " machines, resuming cluster has k=" + std::to_string(expect.k),
+                        path});
+  }
+  return Result(std::move(frame));
+}
+
+Expected<RecoveryManager::RecoveredState, DurableError> RecoveryManager::recover(
+    const std::string& dir, const Expectation& expect) {
+  using Result = Expected<RecoveredState, DurableError>;
+  auto listed = DurableStore::list_generations(dir);
+  if (!listed.ok()) return Result::err(listed.error());
+  const auto& generations = listed.value();
+  if (generations.empty()) {
+    return Result::err(
+        {DurableErrorCode::kNoGeneration, "no committed generations in directory", dir});
+  }
+  RecoveredState state;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    auto loaded = load_frame(it->second, expect);
+    if (loaded.ok()) {
+      state.frame = std::move(loaded).value();
+      state.path = it->second;
+      return Result(std::move(state));
+    }
+    state.rejected.push_back({it->first, loaded.error()});
+  }
+  std::string summary = "all " + std::to_string(generations.size()) +
+                        " generation(s) rejected:";
+  for (const Rejection& r : state.rejected) {
+    summary += " [gen " + std::to_string(r.ordinal) + ": " +
+               durable_error_name(r.error.code) + "]";
+  }
+  return Result::err({DurableErrorCode::kNoGeneration, std::move(summary), dir});
+}
+
+}  // namespace kmm

@@ -1,0 +1,58 @@
+#pragma once
+// Startup-time recovery: scan a durable checkpoint directory, validate
+// generations newest-first, and hand back the most recent frame that is
+// (a) complete and checksum-clean and (b) not stale for the resuming
+// process — same serialized-state version (porting-recipe rule 10), same
+// graph/config fingerprint, same cluster width. Corrupt, torn, or stale
+// generations are rejected with structured DurableError diagnostics and
+// the scan falls back to the next older one; NOTHING is ever silently
+// restored, and nothing here aborts on bad data — a directory with no
+// usable generation comes back as kNoGeneration with the per-file
+// rejection list attached for the operator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durable/durable_format.hpp"
+#include "util/expected.hpp"
+
+namespace kmm {
+
+class RecoveryManager {
+ public:
+  /// What the resuming process is willing to restore. Zero fingerprint
+  /// means "don't check" (single-tenant directories); state_version must
+  /// match the program's exactly.
+  struct Expectation {
+    std::uint64_t state_version = 1;
+    std::uint64_t fingerprint = 0;
+    MachineId k = 0;  // 0 = don't check
+  };
+
+  /// One generation the scan refused, with why.
+  struct Rejection {
+    std::uint64_t ordinal = 0;
+    DurableError error;
+  };
+
+  struct RecoveredState {
+    DurableFrame frame;
+    std::string path;                  // file the frame was restored from
+    std::vector<Rejection> rejected;   // newer generations that were skipped
+  };
+
+  /// Validate a single frame file against `expect`. Taxonomy: I/O ->
+  /// kIo/kTruncated, codec errors as produced by decode_frame, then
+  /// staleness (kStateVersionMismatch / kFingerprintMismatch /
+  /// kClusterWidthMismatch).
+  [[nodiscard]] static Expected<DurableFrame, DurableError> load_frame(
+      const std::string& path, const Expectation& expect);
+
+  /// Scan `dir` and return the newest restorable generation. Never aborts:
+  /// every failure mode is a structured error.
+  [[nodiscard]] static Expected<RecoveredState, DurableError> recover(
+      const std::string& dir, const Expectation& expect);
+};
+
+}  // namespace kmm

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/partition.hpp"
+#include "util/assert.hpp"
 #include "util/codec.hpp"
 
 namespace kmm {
@@ -20,20 +21,29 @@ namespace kmm {
 class CheckpointStore {
  public:
   /// Make room for k machines (idempotent; existing buffers retained).
+  /// MachineId is a 32-bit unsigned index, so widening it to the vector's
+  /// std::size_t is value-preserving — made explicit here so the mixed
+  /// comparison below cannot silently change meaning if MachineId ever
+  /// grows a different width or signedness.
   void ensure(MachineId k) {
-    if (writers_.size() < k) writers_.resize(k);
+    const auto want = static_cast<std::size_t>(k);
+    if (writers_.size() < want) writers_.resize(want);
   }
 
   /// Begin machine m's snapshot for the current generation: returns a
-  /// cleared writer the serializer appends to.
+  /// cleared writer the serializer appends to. Indexing a store that was
+  /// never ensure()d for machine m is a caller bug; fail loudly in debug
+  /// builds instead of handing out an out-of-bounds reference.
   [[nodiscard]] WordWriter& writer(MachineId m) {
-    WordWriter& w = writers_[m];
+    KMM_DCHECK(static_cast<std::size_t>(m) < writers_.size());
+    WordWriter& w = writers_[static_cast<std::size_t>(m)];
     w.clear();
     return w;
   }
 
   [[nodiscard]] std::span<const std::uint64_t> words(MachineId m) const {
-    return writers_[m].words();
+    KMM_DCHECK(static_cast<std::size_t>(m) < writers_.size());
+    return writers_[static_cast<std::size_t>(m)].words();
   }
 
   void set_step(std::uint64_t step) noexcept { step_ = step; }

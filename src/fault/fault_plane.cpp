@@ -1,7 +1,9 @@
 #include "fault/fault_plane.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "durable/durable_store.hpp"
 #include "util/assert.hpp"
 
 namespace kmm {
@@ -52,6 +54,7 @@ void FaultPlane::checkpoint_all(Cluster& cluster, MachineProgram& program,
 std::size_t FaultPlane::begin_step(Cluster& cluster, MachineProgram& program) {
   const MachineId k = cluster.k();
   ensure_k(k);
+  if (pending_resume_ != nullptr) apply_resume(cluster, program);
   crash_scratch_.clear();
   schedule_->crashes_at(ordinal_, k, crash_scratch_);
   if (!crash_scratch_.empty() &&
@@ -71,9 +74,15 @@ std::size_t FaultPlane::begin_step(Cluster& cluster, MachineProgram& program) {
   }
   const bool checkpointable = program.checkpointable();
   const bool ckpt_active = config_.always_checkpoint || schedule_->has_crashes();
+  // An attached durable store activates cadence checkpointing on its own:
+  // the whole point of durability is surviving a kill the schedule never
+  // planned, so a crash-free schedule must still produce generations.
+  const bool durable_active = durable_ != nullptr && checkpointable;
 
-  if (ckpt_active && checkpointable && ordinal_ % config_.checkpoint_every == 0) {
+  if ((ckpt_active || durable_active) && checkpointable &&
+      ordinal_ % config_.checkpoint_every == 0) {
     checkpoint_all(cluster, program, store_, /*via_hooks=*/false);
+    if (durable_active) durable_commit(cluster, program);
   }
   if (!crash_scratch_.empty() && !checkpointable && restore_ != nullptr) {
     // Hook mode has no replay log (the per-step lambdas are gone once a
@@ -173,6 +182,70 @@ void FaultPlane::log_inboxes(Cluster& cluster) {
     log.assign(inbox.begin(), inbox.end());
     for (Message& msg : log) msg.reintern(slot.arena);
   }
+}
+
+void FaultPlane::durable_commit(Cluster& cluster, MachineProgram& program) {
+  // The in-RAM generation (store_) was just taken at this ordinal; the frame
+  // marries it to the ledger-so-far and the inbox this superstep's handlers
+  // are about to read — everything a restarted process needs to re-enter the
+  // computation at exactly this instant.
+  frame_scratch_.clear(k_);
+  frame_scratch_.state_version = program.state_version();
+  frame_scratch_.ordinal = ordinal_;
+  frame_scratch_.ledger = cluster.stats();
+  for (MachineId m = 0; m < k_; ++m) {
+    const auto words = store_.words(m);
+    frame_scratch_.machine_words[m].assign(words.begin(), words.end());
+    for (const Message& msg : cluster.inbox(m)) {
+      DurableFrame::FrameMessage fm;
+      fm.src = msg.src;
+      fm.dst = msg.dst;
+      fm.tag = msg.tag;
+      fm.bits = msg.bits;
+      const auto payload = msg.payload();
+      fm.payload.assign(payload.begin(), payload.end());
+      frame_scratch_.inbox[m].push_back(std::move(fm));
+    }
+  }
+  auto committed = durable_->commit(frame_scratch_);
+  if (!committed.ok()) {
+    // A durability plane that silently stops persisting is worse than one
+    // that stops the run: fail loudly with the structured diagnostic.
+    std::fprintf(stderr, "kmm: durable checkpoint commit failed [%s]: %s (%s)\n",
+                 durable_error_name(committed.error().code),
+                 committed.error().message.c_str(), committed.error().path.c_str());
+    KMM_CHECK_MSG(false, "durable checkpoint commit failed — refusing to run undurably");
+  }
+  ++stats_.durable_commits;
+}
+
+void FaultPlane::apply_resume(Cluster& cluster, MachineProgram& program) {
+  const DurableFrame& frame = *pending_resume_;
+  pending_resume_ = nullptr;
+  KMM_CHECK_MSG(frame.k == k_, "durable resume: frame cluster width mismatch");
+  KMM_CHECK_MSG(program.checkpointable(),
+                "durable resume requires a checkpointable program — see porting "
+                "recipe rule 10 in runtime.hpp");
+  for (MachineId m = 0; m < k_; ++m) {
+    WordReader r(frame.machine_words[m]);
+    program.restore(m, r);
+    KMM_CHECK_MSG(r.done(), "durable resume: restore left unread words");
+  }
+  // Re-inject the frame's inbox window (ledger-free — the bits were charged
+  // before the frame was taken) and restore the ledger itself, then rewind
+  // the plane to the frame's ordinal. From here deterministic re-execution
+  // reproduces the uninterrupted run bit-for-bit.
+  scratch_arena_.reset();
+  for (MachineId m = 0; m < k_; ++m) {
+    cluster.clear_inbox(m);
+    for (const DurableFrame::FrameMessage& fm : frame.inbox[m]) {
+      cluster.inject_inbox(
+          m, Message::make(fm.src, fm.dst, fm.tag, fm.payload, fm.bits, scratch_arena_));
+    }
+  }
+  cluster.restore_stats(frame.ledger);
+  ordinal_ = frame.ordinal;
+  ++stats_.resumes;
 }
 
 void FaultPlane::apply_link_faults(Cluster& cluster, std::span<OutboxShard> shards) {

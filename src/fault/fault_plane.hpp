@@ -61,11 +61,14 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "durable/durable_format.hpp"
 #include "fault/checkpoint_store.hpp"
 #include "fault/fault_schedule.hpp"
 #include "runtime/machine_program.hpp"
 
 namespace kmm {
+
+class DurableStore;
 
 struct FaultPlaneConfig {
   /// Checkpoint cadence C for checkpointable MachinePrograms: snapshots are
@@ -113,6 +116,8 @@ struct FaultStats {
   std::uint64_t corruptions = 0;      // payloads tampered in transit
   std::uint64_t overhead_rounds = 0;  // rounds charged for retransmit/lossy overhead
   std::uint64_t deadline_overruns = 0;  // wall-clock watchdog notes (diagnostic)
+  std::uint64_t durable_commits = 0;  // frames committed to the durable store
+  std::uint64_t resumes = 0;          // durable resume frames applied
 };
 
 class FaultPlane {
@@ -140,6 +145,26 @@ class FaultPlane {
     restore_ = nullptr;
   }
   [[nodiscard]] bool has_state_hooks() const noexcept { return restore_ != nullptr; }
+
+  // ------------------------------------------------ Durable tee & resume
+  // (src/durable/): with a store attached, every cadence checkpoint of a
+  // checkpointable program is ALSO committed to disk as a full resume frame
+  // — per-machine state words, the superstep ordinal, the complete
+  // ClusterStats ledger, and the inbox-replay window (the exact input the
+  // checkpointed superstep's handlers are about to read). Attaching a store
+  // activates cadence checkpointing even for a crash-free schedule.
+
+  /// Borrowed; nullable. The store's fingerprint is stamped into frames.
+  void set_durable_store(DurableStore* store) noexcept { durable_ = store; }
+  [[nodiscard]] DurableStore* durable_store() const noexcept { return durable_; }
+
+  /// Arm a recovered frame (RecoveryManager::recover): the NEXT begin_step
+  /// restores every machine's state, re-injects the frame's inboxes,
+  /// restores the cluster ledger, and rewinds the plane's ordinal to the
+  /// frame's — after which deterministic re-execution reproduces the
+  /// uninterrupted run bit-for-bit. The frame is borrowed and must outlive
+  /// that first step. Requires a checkpointable program (rule 10).
+  void arm_resume(const DurableFrame* frame) noexcept { pending_resume_ = frame; }
 
   // ------------------------------------------------ Runtime integration
   // (driver thread only; called by Runtime::step / Runtime::run)
@@ -196,6 +221,8 @@ class FaultPlane {
   void recover_checkpointable(Cluster& cluster, MachineProgram& program);
   void rebuild_inbox(Cluster& cluster, MachineId victim);
   void log_inboxes(Cluster& cluster);
+  void durable_commit(Cluster& cluster, MachineProgram& program);
+  void apply_resume(Cluster& cluster, MachineProgram& program);
 
   struct RingSlot {
     std::uint64_t step = ~std::uint64_t{0};
@@ -221,6 +248,9 @@ class FaultPlane {
 
   CheckpointStore store_;       // checkpointable-program generations (cadence C)
   CheckpointStore hook_store_;  // hook-mode crash-instant snapshots
+  DurableStore* durable_ = nullptr;            // borrowed on-disk tee; nullable
+  const DurableFrame* pending_resume_ = nullptr;  // applied at the next begin_step
+  DurableFrame frame_scratch_;                 // commit staging, capacity retained
   std::vector<RingSlot> ring_;  // C slots of logged inboxes for replay
   OutboxShard replay_shard_;    // sink for replayed sends (discarded)
 

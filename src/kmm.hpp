@@ -30,6 +30,15 @@
 //                restart fallback), attached through RuntimeConfig::fault /
 //                the core configs' fault field (off by default; detached is
 //                bit-identical)
+//   durable    — the durable checkpoint & restart plane: checksummed
+//                on-disk frames (per-machine state + superstep ordinal +
+//                the full ClusterStats ledger + the inbox replay window,
+//                CRC-64 per frame, written via fsync + atomic rename), a
+//                DurableStore the FaultPlane tees checkpoints into, and a
+//                RecoveryManager that scans generations, rejects corrupt /
+//                torn / stale frames with structured errors, and resumes a
+//                checkpointable program mid-computation — answers AND
+//                ledgers bit-identical to an uninterrupted run
 //   serve      — the resilient query-serving layer: one long-lived
 //                DistributedGraph serving concurrent queries with per-query
 //                budgets (wall deadline, superstep cap, ledger-bit cap),
@@ -48,6 +57,7 @@
 #include "core/boruvka.hpp"
 #include "core/connectivity.hpp"
 #include "core/drr.hpp"
+#include "core/flood_program.hpp"
 #include "core/flooding.hpp"
 #include "core/label_registry.hpp"
 #include "core/leader_election.hpp"
@@ -57,6 +67,9 @@
 #include "core/rep_mst.hpp"
 #include "core/two_edge.hpp"
 #include "core/verification.hpp"
+#include "durable/durable_format.hpp"
+#include "durable/durable_store.hpp"
+#include "durable/recovery_manager.hpp"
 #include "fault/checkpoint_store.hpp"
 #include "fault/fault_plane.hpp"
 #include "fault/fault_schedule.hpp"
@@ -76,12 +89,15 @@
 #include "runtime/phase_timers.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/cancel.hpp"
+#include "serve/query_journal.hpp"
 #include "serve/retry.hpp"
 #include "serve/service.hpp"
 #include "sketch/graph_sketch.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/one_sparse.hpp"
 #include "sketch/sketch_pool.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc64.hpp"
 #include "util/expected.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"

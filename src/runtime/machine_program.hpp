@@ -52,6 +52,14 @@ class MachineProgram {
   /// Restart fallback: return true after resetting the whole program to
   /// its phase start (all machines). Default: restart unsupported.
   [[nodiscard]] virtual bool reset() { return false; }
+
+  /// Serialized-state version (porting recipe rule 10 in runtime.hpp): a
+  /// resumable program bumps this whenever the word layout snapshot()
+  /// writes changes meaning. The durable plane stamps it into every
+  /// on-disk frame, and RecoveryManager refuses to restore a frame whose
+  /// version differs from the resuming program's — a stale generation is
+  /// a structured error, never a misdecoded resume.
+  [[nodiscard]] virtual std::uint64_t state_version() const { return 1; }
 };
 
 }  // namespace kmm

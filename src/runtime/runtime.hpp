@@ -129,6 +129,25 @@
 //      inboxes and its partial ledger; the serving layer isolates queries
 //      by giving each attempt a fresh Cluster and discarding it on
 //      cancellation rather than scrubbing state in place.
+//  10. Resumable-state versioning (the durable plane, src/durable/). A
+//      checkpointable program's snapshots may outlive the process: with a
+//      DurableStore attached to the fault plane, every cadence checkpoint
+//      is committed to disk as a resume frame, and a restarted process
+//      restores it mid-computation. That makes the snapshot word layout an
+//      on-disk FORMAT, so a resumable program must declare its layout
+//      version by overriding MachineProgram::state_version() and bump it
+//      on ANY change to what snapshot() writes or how restore() reads it
+//      (field order, widths, meaning — not just size). The version is
+//      stamped into every frame; RecoveryManager rejects mismatches as
+//      structured kStateVersionMismatch errors instead of misdecoding a
+//      stale generation. Only rule-8(a) programs are durably resumable:
+//      hook-mode engines (8b) can survive in-process crashes but their
+//      driver loop's control position dies with the process, and reset()
+//      programs (8c) have nothing to resume. Durable resume additionally
+//      relies on rules 1-6: the frame captures (state, inbox, ledger,
+//      ordinal) at a superstep boundary, and bit-identical continuation
+//      holds only because re-execution from that boundary is
+//      deterministic in everything but thread count.
 //
 // Because the handler order in sequential mode and the shard-merge order in
 // parallel mode are both ascending machine order, a ported algorithm's sends

@@ -1,0 +1,84 @@
+#pragma once
+// Durable query journal for the serving layer: an append-only text log of
+// query lifecycle records,
+//
+//   S <id> <kind> <seed> <budget...> <operands...> <edges...> crc=<16 hex>
+//   C <id> <ok> crc=<16 hex>
+//
+// one line per record, each protected by a CRC-64 of its body. Appends are
+// fsync'd, so after a process death the journal's intact prefix tells the
+// restarted service exactly which queries were submitted but never
+// completed — replay() returns that pending set (idempotent by query id:
+// duplicate submissions collapse, completed ids are excluded even when the
+// completion record precedes a duplicate submission) and the restarted
+// ClusterService re-runs ONLY those. A torn tail line — the record being
+// appended at the instant of death — fails its CRC and is counted, never
+// misparsed.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "durable/durable_format.hpp"
+#include "serve/service.hpp"
+#include "util/expected.hpp"
+
+namespace kmm {
+
+class QueryJournal {
+ public:
+  /// Open (creating if absent) for appending. The journal owns the file
+  /// descriptor; records from earlier process lifetimes are preserved.
+  [[nodiscard]] static Expected<std::unique_ptr<QueryJournal>, DurableError> open(
+      const std::string& path, bool fsync = true);
+
+  ~QueryJournal();
+  QueryJournal(const QueryJournal&) = delete;
+  QueryJournal& operator=(const QueryJournal&) = delete;
+
+  /// Thread-safe appends (the service calls these from submit paths and
+  /// executor threads). Append failures are counted and reported on
+  /// stderr once — a journalling failure must not take the service down.
+  void record_submitted(std::uint64_t id, const QueryRequest& request);
+  void record_completed(std::uint64_t id, bool ok);
+
+  struct Stats {
+    std::uint64_t appended = 0;
+    std::uint64_t append_failures = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  struct Replay {
+    /// Submitted-but-never-completed queries, ascending id — what a
+    /// restarted service re-runs.
+    std::vector<std::pair<std::uint64_t, QueryRequest>> pending;
+    std::uint64_t submitted = 0;     // distinct submitted ids
+    std::uint64_t completed = 0;     // distinct completed ids
+    std::uint64_t torn_records = 0;  // CRC-failed / unparseable lines skipped
+    std::uint64_t max_id = 0;        // highest id seen (seed for fresh ids)
+  };
+
+  /// Scan a journal file. A missing file is kIo; any intact journal —
+  /// including an empty one — replays successfully.
+  [[nodiscard]] static Expected<Replay, DurableError> replay(const std::string& path);
+
+ private:
+  QueryJournal(std::string path, int fd, bool fsync)
+      : path_(std::move(path)), fd_(fd), fsync_(fsync) {}
+
+  void append_line(const std::string& body);
+
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_ = true;
+  mutable std::mutex mutex_;
+  Stats stats_;
+  bool warned_ = false;
+};
+
+}  // namespace kmm

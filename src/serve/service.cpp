@@ -14,6 +14,7 @@
 #include "core/verification.hpp"
 #include "fault/fault_plane.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/query_journal.hpp"
 #include "util/assert.hpp"
 
 namespace kmm {
@@ -81,6 +82,7 @@ std::size_t estimate_query_bytes(std::size_t n, MachineId k) noexcept {
 ClusterService::ClusterService(const DistributedGraph& dg, ServiceConfig config)
     : dg_(&dg), config_(config) {
   if (config_.workers == 0) config_.workers = 1;
+  if (config_.first_query_id != 0) next_id_ = config_.first_query_id;
   const unsigned qt = resolve_threads(config_.query_threads, config_.k);
   if (qt > 1) pool_ = std::make_unique<ThreadPool>(qt);
   executors_.reserve(config_.workers);
@@ -104,13 +106,21 @@ ClusterService::~ClusterService() {
   for (auto& t : executors_) t.join();
 }
 
-std::shared_ptr<QueryTicket> ClusterService::submit(QueryRequest request) {
+std::shared_ptr<QueryTicket> ClusterService::submit(QueryRequest request,
+                                                    std::uint64_t resubmit_id) {
   std::shared_ptr<QueryTicket> ticket;
   bool rejected = false;
   std::string reason;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ticket = std::shared_ptr<QueryTicket>(new QueryTicket(next_id_++));
+    std::uint64_t id;
+    if (resubmit_id != 0) {
+      id = resubmit_id;
+      next_id_ = std::max(next_id_, resubmit_id + 1);
+    } else {
+      id = next_id_++;
+    }
+    ticket = std::shared_ptr<QueryTicket>(new QueryTicket(id));
     ++stats_.submitted;
     const std::size_t live = inflight_ + queue_.size();
     if (queue_.size() >= config_.max_queue) {
@@ -128,6 +138,13 @@ std::shared_ptr<QueryTicket> ClusterService::submit(QueryRequest request) {
       ++stats_.rejected_overload;
     } else {
       ++stats_.admitted;
+      // Journal AFTER admission, BEFORE execution: a process death between
+      // this append and the completion record leaves the query pending,
+      // which is exactly what replay() re-runs. Resubmissions already have
+      // an S record from the first lifetime (replay dedups by id anyway).
+      if (config_.journal != nullptr && resubmit_id == 0) {
+        config_.journal->record_submitted(ticket->id(), request);
+      }
       queue_.push_back(Pending{ticket->id(), std::move(request), ticket});
     }
   }
@@ -193,6 +210,9 @@ void ClusterService::finish(const Pending& job, QueryOutcome outcome,
     log_.push_back(entry);
     if (timeline != nullptr) timelines_.emplace_back(job.id, std::move(timeline));
   }
+  // Completion record BEFORE the ticket resolves: once a client observes
+  // the outcome, a restart will not re-run the query.
+  if (config_.journal != nullptr) config_.journal->record_completed(job.id, entry.ok);
   job.ticket->resolve(std::move(outcome));
 }
 
@@ -204,6 +224,7 @@ QueryOutcome ClusterService::run_query(const QueryRequest& request, const Cancel
     ++stats_.submitted;
     ++stats_.admitted;
   }
+  if (config_.journal != nullptr) config_.journal->record_submitted(id, request);
   QueryOutcome outcome = execute(request, id, token);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -213,6 +234,7 @@ QueryOutcome ClusterService::run_query(const QueryRequest& request, const Cancel
       ++stats_.failed;
     }
   }
+  if (config_.journal != nullptr) config_.journal->record_completed(id, outcome.ok());
   return outcome;
 }
 

@@ -48,6 +48,7 @@
 namespace kmm {
 
 class FaultPlane;
+class QueryJournal;
 
 /// Every problem the service can answer. The four headliners, the three
 /// baselines, and the eight Theorem 4 verification reductions.
@@ -142,6 +143,14 @@ struct ServiceConfig {
   /// Keep a per-query MetricsTimeline of the surviving attempt, retrievable
   /// via timeline(id) until the service is destroyed.
   bool record_timelines = false;
+  /// Durable query journal (borrowed, optional). When set, every admitted
+  /// query is journalled at submission and again at completion, so a
+  /// restarted service can replay the journal and re-run ONLY the queries
+  /// that were in flight when the process died (see query_journal.hpp).
+  QueryJournal* journal = nullptr;
+  /// First id the service assigns — a restarted service seeds this with
+  /// replay().max_id + 1 so resubmitted and fresh ids never collide.
+  std::uint64_t first_query_id = 1;
 };
 
 struct ServiceStats {
@@ -229,8 +238,11 @@ class ClusterService {
   ClusterService& operator=(const ClusterService&) = delete;
 
   /// Admission + enqueue. Always returns a ticket; a shed query's ticket is
-  /// already resolved to kOverloaded.
-  [[nodiscard]] std::shared_ptr<QueryTicket> submit(QueryRequest request);
+  /// already resolved to kOverloaded. A non-zero `resubmit_id` re-runs a
+  /// journal-replayed query under its ORIGINAL id (idempotent restart:
+  /// completion records land on the id the first lifetime journalled).
+  [[nodiscard]] std::shared_ptr<QueryTicket> submit(QueryRequest request,
+                                                    std::uint64_t resubmit_id = 0);
 
   /// Synchronous in-caller execution, bypassing the queue and admission —
   /// the determinism-test seam (same execute path, no executor scheduling).

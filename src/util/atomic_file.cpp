@@ -1,0 +1,153 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace kmm {
+namespace {
+
+void set_error(std::string* error, const std::string& what, const std::string& path) {
+  if (error != nullptr) *error = what + " '" + path + "': " + std::strerror(errno);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool write_all(int fd, const unsigned char* data, std::size_t bytes) {
+  std::size_t off = 0;
+  while (off < bytes) {
+    const ssize_t w = ::write(fd, data + off, bytes - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const void* data, std::size_t bytes,
+                       bool do_fsync, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    set_error(error, "open", tmp);
+    return false;
+  }
+  bool ok = write_all(fd, static_cast<const unsigned char*>(data), bytes);
+  if (!ok) set_error(error, "write", tmp);
+  if (ok && do_fsync && ::fsync(fd) != 0) {
+    set_error(error, "fsync", tmp);
+    ok = false;
+  }
+  if (::close(fd) != 0 && ok) {
+    set_error(error, "close", tmp);
+    ok = false;
+  }
+  if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename", tmp);
+    ok = false;
+  }
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (do_fsync) {
+    // Make the rename itself durable: fsync the containing directory.
+    const std::string dir = parent_dir(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+      set_error(error, "open dir", dir);
+      return false;
+    }
+    const int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) {
+      set_error(error, "fsync dir", dir);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_file_words(const std::string& path, std::vector<std::uint64_t>& words,
+                     std::string* error, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  words.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, "open", path);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, "stat", path);
+    ::close(fd);
+    return false;
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  if (bytes % sizeof(std::uint64_t) != 0) {
+    if (error != nullptr) {
+      *error = "file '" + path + "' is not 64-bit-word aligned (" +
+               std::to_string(bytes) + " bytes) — torn write";
+    }
+    if (truncated != nullptr) *truncated = true;
+    ::close(fd);
+    return false;
+  }
+  words.resize(bytes / sizeof(std::uint64_t));
+  std::size_t off = 0;
+  auto* dst = reinterpret_cast<unsigned char*>(words.data());
+  while (off < bytes) {
+    const ssize_t r = ::read(fd, dst + off, bytes - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "read", path);
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;  // racing truncation; caught below
+    off += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  if (off != bytes) {
+    if (error != nullptr) *error = "short read of '" + path + "'";
+    if (truncated != nullptr) *truncated = true;
+    return false;
+  }
+  return true;
+}
+
+bool ensure_directory(const std::string& dir, std::string* error) {
+  if (dir.empty()) {
+    if (error != nullptr) *error = "empty directory path";
+    return false;
+  }
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      set_error(error, "mkdir", prefix);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kmm

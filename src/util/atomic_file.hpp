@@ -1,0 +1,40 @@
+#pragma once
+// Atomic file commit for the durable plane: write-to-temp + fsync +
+// rename + directory fsync, so a crash at ANY instant leaves either the
+// previous file or the complete new one — never a torn hybrid. A reader
+// that finds the temp name knows it is looking at an uncommitted write.
+//
+// Errors are reported as strings (errno text + path), not aborts: disk
+// problems are an expected runtime condition for a durability layer and
+// the callers (DurableStore / RecoveryManager) convert them into
+// structured kmm::Expected diagnostics.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kmm {
+
+/// Atomically replace `path` with `bytes` of `data`: write `path`.tmp,
+/// optionally fsync it, rename over `path`, and (when `do_fsync`) fsync
+/// the parent directory so the rename itself is durable. Returns false
+/// and fills *error (errno text) on any failure; the temp file is
+/// unlinked on the error paths that leave one behind.
+[[nodiscard]] bool atomic_write_file(const std::string& path, const void* data,
+                                     std::size_t bytes, bool do_fsync,
+                                     std::string* error);
+
+/// Read a whole file into 64-bit words. A size that is not a multiple of
+/// 8 bytes (a torn tail from a non-atomic writer) fails with *truncated
+/// set to true; I/O errors fail with *truncated false. On failure *error
+/// carries the errno/description text.
+[[nodiscard]] bool read_file_words(const std::string& path,
+                                   std::vector<std::uint64_t>& words,
+                                   std::string* error, bool* truncated);
+
+/// mkdir -p equivalent (single level is enough for checkpoint dirs, but
+/// intermediate components are created too). Existing directory is OK.
+[[nodiscard]] bool ensure_directory(const std::string& dir, std::string* error);
+
+}  // namespace kmm

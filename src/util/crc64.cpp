@@ -1,0 +1,36 @@
+#include "util/crc64.hpp"
+
+#include <array>
+
+namespace kmm {
+namespace {
+
+// Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPolyReflected = 0xC96C5795D7870F42ULL;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint64_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[b] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t len, std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kmm

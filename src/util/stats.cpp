@@ -1,10 +1,12 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
 #include "util/assert.hpp"
+#include "util/codec.hpp"
 
 namespace kmm {
 
@@ -27,6 +29,25 @@ double Accumulator::variance() const noexcept {
 }
 
 double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Accumulator::serialize(WordWriter& out) const {
+  out.u64(n_);
+  out.u64(std::bit_cast<std::uint64_t>(mean_));
+  out.u64(std::bit_cast<std::uint64_t>(m2_));
+  out.u64(std::bit_cast<std::uint64_t>(min_));
+  out.u64(std::bit_cast<std::uint64_t>(max_));
+  out.u64(std::bit_cast<std::uint64_t>(sum_));
+}
+
+void Accumulator::restore(std::span<const std::uint64_t> words) noexcept {
+  KMM_CHECK(words.size() == kSerializedWords);
+  n_ = words[0];
+  mean_ = std::bit_cast<double>(words[1]);
+  m2_ = std::bit_cast<double>(words[2]);
+  min_ = std::bit_cast<double>(words[3]);
+  max_ = std::bit_cast<double>(words[4]);
+  sum_ = std::bit_cast<double>(words[5]);
+}
 
 Histogram::Histogram(double limit, int buckets) : limit_(limit) {
   KMM_CHECK(limit > 0 && buckets > 0);

@@ -4,10 +4,13 @@
 // uniformity).
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace kmm {
+
+class WordWriter;
 
 /// Streaming summary: count / mean / min / max / variance (Welford).
 class Accumulator {
@@ -21,6 +24,14 @@ class Accumulator {
   [[nodiscard]] double variance() const noexcept;  // population variance
   [[nodiscard]] double stddev() const noexcept;
   [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Bit-exact persistence for the durable checkpoint plane: the Welford
+  /// running state (count + five doubles, bit_cast to words) round-trips
+  /// exactly, so an accumulator restored from a frame continues the SAME
+  /// floating-point trajectory as the uninterrupted run.
+  static constexpr std::size_t kSerializedWords = 6;
+  void serialize(WordWriter& out) const;
+  void restore(std::span<const std::uint64_t> words) noexcept;  // exactly kSerializedWords
 
  private:
   std::uint64_t n_ = 0;
